@@ -1,0 +1,56 @@
+// Command jobgen emits benchmark workloads as the JSON job-description
+// format (the "Description of jobs" of Fig. 1), for consumption by
+// `magma -workload` or external tooling.
+//
+// Example:
+//
+//	jobgen -task Mix -jobs 500 -group 100 -seed 3 > mix.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"magma"
+	"magma/internal/models"
+)
+
+func main() {
+	var (
+		task  = flag.String("task", "Mix", "Vision, Lang, Recom, or Mix")
+		jobs  = flag.Int("jobs", 500, "total jobs to draw")
+		group = flag.Int("group", 100, "jobs per dependency-free group")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		list  = flag.Bool("models", false, "list the model zoo and exit")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("jobgen: ")
+
+	if *list {
+		for _, n := range magma.ModelNames() {
+			t, err := models.TaskOf(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %s\n", n, t)
+		}
+		return
+	}
+
+	t, err := models.ParseTask(*task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := magma.GenerateWorkload(magma.WorkloadConfig{
+		Task: t, NumJobs: *jobs, GroupSize: *group, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wl.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Command magma runs one mapping search from the command line: pick a
+// Table III platform (or sweep its bandwidth), a benchmark task (or a
+// workload JSON produced by jobgen), and a Table IV mapper.
+//
+// Examples:
+//
+//	magma -platform S2 -task Mix -mapper MAGMA -budget 10000
+//	magma -platform S4 -bw 64 -task Vision -mapper Herald-like -gantt
+//	magma -workload jobs.json -mapper "RL PPO2" -budget 2000
+//	magma -platform S2 -task Mix -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"magma"
+)
+
+func main() {
+	var (
+		platformID = flag.String("platform", "S2", "Table III setting: S1..S6")
+		bw         = flag.Float64("bw", 0, "system bandwidth GB/s (0 = setting default)")
+		task       = flag.String("task", "Mix", "benchmark task: Vision, Lang, Recom, Mix")
+		jobs       = flag.Int("jobs", 100, "jobs per group when generating a workload")
+		wlPath     = flag.String("workload", "", "workload JSON file (overrides -task/-jobs)")
+		groupIdx   = flag.Int("group", 0, "group index within the workload")
+		mapper     = flag.String("mapper", "MAGMA", "mapper name (see -mappers)")
+		budget     = flag.Int("budget", 10000, "sampling budget for search mappers")
+		objective  = flag.String("objective", "throughput", "throughput | latency | energy | edp")
+		seed       = flag.Int64("seed", 1, "random seed")
+		gantt      = flag.Bool("gantt", false, "render the found schedule")
+		compare    = flag.Bool("compare", false, "run every Table IV mapper and print a leaderboard")
+		listMap    = flag.Bool("mappers", false, "list mapper names and exit")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("magma: ")
+
+	if *listMap {
+		for _, m := range magma.MapperNames() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	pf, err := magma.PlatformBySetting(*platformID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *bw > 0 {
+		pf = pf.WithBW(*bw)
+	}
+
+	group, err := loadGroup(*wlPath, *task, *jobs, *seed, *groupIdx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	obj, err := parseObjective(*objective)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := magma.Options{Mapper: *mapper, Objective: obj, Budget: *budget, Seed: *seed}
+
+	fmt.Printf("platform: %s\n", pf)
+	fmt.Printf("group:    %d jobs, %.3g total GFLOPs\n", len(group.Jobs), float64(group.TotalFLOPs())/1e9)
+
+	if *compare {
+		results, err := magma.Compare(group, pf, nil, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-12s  %12s  %14s\n", "mapper", "GFLOP/s", "makespan (cyc)")
+		for _, r := range results {
+			fmt.Printf("%-12s  %12.1f  %14.4g\n", r.Mapper, r.ThroughputGFLOPs, r.MakespanCycles)
+		}
+		return
+	}
+
+	sched, err := magma.Optimize(group, pf, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapper:     %s\n", sched.Mapper)
+	fmt.Printf("throughput: %.1f GFLOP/s\n", sched.ThroughputGFLOPs)
+	fmt.Printf("makespan:   %.4g cycles\n", sched.MakespanCycles)
+	fmt.Printf("energy:     %.4g units\n", sched.EnergyUnits)
+	if *gantt {
+		fmt.Println()
+		if err := magma.RenderSchedule(os.Stdout, group, pf, sched, 100); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func loadGroup(path, task string, jobs int, seed int64, idx int) (magma.Group, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return magma.Group{}, err
+		}
+		defer f.Close()
+		wl, err := magma.ReadWorkloadJSON(f)
+		if err != nil {
+			return magma.Group{}, err
+		}
+		if idx < 0 || idx >= len(wl.Groups) {
+			return magma.Group{}, fmt.Errorf("group %d out of range (workload has %d)", idx, len(wl.Groups))
+		}
+		return wl.Groups[idx], nil
+	}
+	t, err := parseTask(task)
+	if err != nil {
+		return magma.Group{}, err
+	}
+	wl, err := magma.GenerateWorkload(magma.WorkloadConfig{
+		Task: t, NumJobs: jobs * (idx + 1), GroupSize: jobs, Seed: seed,
+	})
+	if err != nil {
+		return magma.Group{}, err
+	}
+	return wl.Groups[idx], nil
+}
+
+func parseTask(s string) (magma.Task, error) {
+	switch s {
+	case "Vision", "vision":
+		return magma.Vision, nil
+	case "Lang", "lang", "Language", "language":
+		return magma.Language, nil
+	case "Recom", "recom", "Recommendation":
+		return magma.Recommendation, nil
+	case "Mix", "mix":
+		return magma.Mix, nil
+	}
+	return 0, fmt.Errorf("unknown task %q", s)
+}
+
+func parseObjective(s string) (magma.Objective, error) {
+	switch s {
+	case "throughput":
+		return magma.Throughput, nil
+	case "latency":
+		return magma.Latency, nil
+	case "energy":
+		return magma.Energy, nil
+	case "edp":
+		return magma.EDP, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q", s)
+}

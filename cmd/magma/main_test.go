@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"magma"
+)
+
+func TestParseTask(t *testing.T) {
+	cases := map[string]magma.Task{
+		"Vision": magma.Vision, "vision": magma.Vision,
+		"Lang": magma.Language, "Language": magma.Language,
+		"Recom": magma.Recommendation, "Mix": magma.Mix,
+	}
+	for in, want := range cases {
+		got, err := parseTask(in)
+		if err != nil || got != want {
+			t.Errorf("parseTask(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseTask("nope"); err == nil {
+		t.Error("parseTask accepted nope")
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	cases := map[string]magma.Objective{
+		"throughput": magma.Throughput,
+		"latency":    magma.Latency,
+		"energy":     magma.Energy,
+		"edp":        magma.EDP,
+	}
+	for in, want := range cases {
+		got, err := parseObjective(in)
+		if err != nil || got != want {
+			t.Errorf("parseObjective(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseObjective("speed"); err == nil {
+		t.Error("parseObjective accepted speed")
+	}
+}
+
+func TestLoadGroupGenerated(t *testing.T) {
+	g, err := loadGroup("", "Mix", 20, 5, 0)
+	if err != nil {
+		t.Fatalf("loadGroup: %v", err)
+	}
+	if len(g.Jobs) != 20 {
+		t.Errorf("group size = %d, want 20", len(g.Jobs))
+	}
+	// Second group index requires generating enough jobs.
+	g2, err := loadGroup("", "Mix", 20, 5, 1)
+	if err != nil {
+		t.Fatalf("loadGroup(group 1): %v", err)
+	}
+	if g2.Index != 1 {
+		t.Errorf("group index = %d, want 1", g2.Index)
+	}
+}
+
+func TestLoadGroupFromJSON(t *testing.T) {
+	wl, err := magma.GenerateWorkload(magma.WorkloadConfig{
+		Task: magma.Vision, NumJobs: 30, GroupSize: 15, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wl.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g, err := loadGroup(path, "", 0, 0, 1)
+	if err != nil {
+		t.Fatalf("loadGroup(json): %v", err)
+	}
+	if len(g.Jobs) != 15 || g.Index != 1 {
+		t.Errorf("group = %d jobs index %d", len(g.Jobs), g.Index)
+	}
+	if _, err := loadGroup(path, "", 0, 0, 9); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if _, err := loadGroup(filepath.Join(t.TempDir(), "missing.json"), "", 0, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command tune runs the §V-B3 hyper-parameter search for MAGMA: an
+// SMBO loop over the operator rates and elite ratio, scored by the best
+// throughput MAGMA reaches on a reference problem at a fixed budget.
+//
+// Example:
+//
+//	tune -platform S2 -task Mix -jobs 50 -budget 2000 -trials 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"magma"
+	"magma/internal/models"
+)
+
+func main() {
+	var (
+		platformID = flag.String("platform", "S2", "Table III setting: S1..S6")
+		bw         = flag.Float64("bw", 0, "system bandwidth GB/s (0 = setting default)")
+		task       = flag.String("task", "Mix", "Vision, Lang, Recom, Mix")
+		jobs       = flag.Int("jobs", 50, "group size of the reference problem")
+		budget     = flag.Int("budget", 2000, "MAGMA sampling budget per trial")
+		trials     = flag.Int("trials", 32, "tuner evaluations")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("tune: ")
+
+	pf, err := magma.PlatformBySetting(*platformID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *bw > 0 {
+		pf = pf.WithBW(*bw)
+	}
+	t, err := models.ParseTask(*task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := magma.GenerateWorkload(magma.WorkloadConfig{
+		Task: t, NumJobs: *jobs, GroupSize: *jobs, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best, score, err := magma.Tune(wl.Groups[0], pf, *budget, *trials, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"mutation", "crossover-gen", "crossover-rg", "crossover-accel", "elite-ratio"}
+	fmt.Printf("best configuration after %d trials (%.1f GFLOP/s):\n", *trials, score)
+	for i, n := range names {
+		fmt.Printf("  %-16s %.3f\n", n, best[i])
+	}
+	fmt.Println("\npaper defaults: mutation 0.05, crossover-gen 0.90, crossover-rg 0.05, crossover-accel 0.05, elite-ratio 0.10")
+}

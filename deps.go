@@ -1,0 +1,22 @@
+package magma
+
+import (
+	"magma/internal/platform"
+	"magma/internal/tuner"
+)
+
+// platformClockHz re-exports the accelerator clock (§VI-A3: 200 MHz).
+const platformClockHz = platform.ClockHz
+
+// tunerSpace returns the MAGMA hyper-parameter search space.
+func tunerSpace() []tuner.Param { return tuner.MAGMASpace() }
+
+// runTuner drives the SMBO loop with a trial budget.
+func runTuner(space []tuner.Param, obj func([]float64) float64, trials int, seed int64) (tuner.Result, error) {
+	cfg := tuner.Config{}
+	if trials > 0 {
+		cfg.InitRandom = trials / 4
+		cfg.Iterations = trials - cfg.InitRandom
+	}
+	return tuner.Tune(space, tuner.Objective(obj), cfg, seed)
+}

@@ -1,0 +1,161 @@
+// Package analyzer implements the Job Analyzer and Job Analysis Table of
+// M3E (§IV-D2, §IV-D4). Before the optimization loop starts, every job
+// of a group is profiled on every sub-accelerator with the cost model;
+// the resulting table of (no-stall latency, required bandwidth) pairs is
+// the only interface between the optimizer's fitness evaluation and the
+// hardware model, so fitness evaluation never re-queries the cost model.
+package analyzer
+
+import (
+	"fmt"
+
+	"magma/internal/layer"
+	"magma/internal/maestro"
+	"magma/internal/platform"
+	"magma/internal/workload"
+)
+
+// Entry is one cell of the Job Analysis Table: the profile of one job on
+// one sub-accelerator.
+type Entry struct {
+	Cycles     int64   // no-stall latency (cycles)
+	BWPerCycle float64 // required bytes/cycle to stay compute-bound
+	ReqBWGBs   float64 // the same requirement in GB/s at the platform clock
+	Energy     float64 // first-order energy (MAC-equivalents)
+	MACs       int64
+}
+
+// Table is the Job Analysis Table for one group on one platform:
+// Entries[jobID][accelID].
+type Table struct {
+	Entries  [][]Entry
+	Group    workload.Group
+	Platform platform.Platform
+}
+
+type cacheKey struct {
+	l     layer.Layer
+	batch int
+	cfg   maestro.Config
+}
+
+// Build profiles every (job, sub-accelerator) pair. Identical
+// (layer, batch, config) combinations — common, since jobs repeat layers
+// — are analyzed once and reused.
+func Build(g workload.Group, p platform.Platform) (*Table, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cache := make(map[cacheKey]Entry)
+	t := &Table{
+		Entries:  make([][]Entry, len(g.Jobs)),
+		Group:    g,
+		Platform: p,
+	}
+	for ji, job := range g.Jobs {
+		row := make([]Entry, len(p.SubAccels))
+		for ai, acc := range p.SubAccels {
+			key := cacheKey{l: job.Layer, batch: job.Batch, cfg: acc.Config}
+			e, ok := cache[key]
+			if !ok {
+				c, err := maestro.Analyze(job.Layer, job.Batch, acc.Config)
+				if err != nil {
+					return nil, fmt.Errorf("analyzer: job %d on accel %d: %w", ji, ai, err)
+				}
+				e = Entry{
+					Cycles:     c.Cycles,
+					BWPerCycle: c.BWPerCycle,
+					ReqBWGBs:   maestro.RequiredBWGBs(c.BWPerCycle, platform.ClockHz),
+					Energy:     c.Energy,
+					MACs:       c.MACs,
+				}
+				cache[key] = e
+			}
+			row[ai] = e
+		}
+		t.Entries[ji] = row
+	}
+	return t, nil
+}
+
+// NumJobs returns the number of profiled jobs.
+func (t *Table) NumJobs() int { return len(t.Entries) }
+
+// NumAccels returns the number of profiled sub-accelerators.
+func (t *Table) NumAccels() int { return t.Platform.NumAccels() }
+
+// At returns the profile of job j on sub-accelerator a.
+func (t *Table) At(j, a int) Entry { return t.Entries[j][a] }
+
+// BestAccel returns the sub-accelerator with the lowest no-stall latency
+// for job j (the affinity used by heterogeneity-aware mappers).
+func (t *Table) BestAccel(j int) int {
+	best := 0
+	for a := 1; a < len(t.Entries[j]); a++ {
+		if t.Entries[j][a].Cycles < t.Entries[j][best].Cycles {
+			best = a
+		}
+	}
+	return best
+}
+
+// Stats summarizes the table for the Fig. 7 / Fig. 13 job-analysis plots.
+type Stats struct {
+	MeanCycles   float64 // average per-job no-stall latency
+	MeanReqBWGBs float64 // average per-job required BW (GB/s)
+}
+
+// Summarize averages no-stall latency and required BW across all
+// (job, accel) pairs — the quantity plotted in Fig. 7(b–c) and Fig. 13.
+func (t *Table) Summarize() Stats {
+	var s Stats
+	n := 0
+	for _, row := range t.Entries {
+		for _, e := range row {
+			s.MeanCycles += float64(e.Cycles)
+			s.MeanReqBWGBs += e.ReqBWGBs
+			n++
+		}
+	}
+	if n > 0 {
+		s.MeanCycles /= float64(n)
+		s.MeanReqBWGBs /= float64(n)
+	}
+	return s
+}
+
+// ModelProfile is the per-model average used by Fig. 7(a): the mean
+// no-stall latency and required BW of a model's jobs on one dataflow
+// style.
+type ModelProfile struct {
+	Model      string
+	Cycles     float64
+	ReqBWGBs   float64
+	JobSamples int
+}
+
+// ProfileModel prices every layer of a model (at the given batch) on one
+// sub-accelerator configuration and averages — the Fig. 7(a) rows.
+func ProfileModel(name string, batch int, cfg maestro.Config) (ModelProfile, error) {
+	m, err := modelByName(name)
+	if err != nil {
+		return ModelProfile{}, err
+	}
+	var p ModelProfile
+	p.Model = name
+	for _, l := range m.Layers {
+		c, err := maestro.Analyze(l, batch, cfg)
+		if err != nil {
+			return ModelProfile{}, err
+		}
+		p.Cycles += float64(c.Cycles)
+		p.ReqBWGBs += maestro.RequiredBWGBs(c.BWPerCycle, platform.ClockHz)
+		p.JobSamples++
+	}
+	p.Cycles /= float64(p.JobSamples)
+	p.ReqBWGBs /= float64(p.JobSamples)
+	return p, nil
+}

@@ -1,0 +1,185 @@
+package analyzer
+
+import (
+	"testing"
+
+	"magma/internal/maestro"
+	"magma/internal/models"
+	"magma/internal/platform"
+	"magma/internal/workload"
+)
+
+func testGroup(t *testing.T, task models.Task, n int) workload.Group {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{Task: task, NumJobs: n, GroupSize: n, Seed: 11})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return w.Groups[0]
+}
+
+func TestBuildShape(t *testing.T) {
+	g := testGroup(t, models.Mix, 40)
+	p := platform.S2()
+	tab, err := Build(g, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if tab.NumJobs() != len(g.Jobs) {
+		t.Errorf("NumJobs = %d, want %d", tab.NumJobs(), len(g.Jobs))
+	}
+	if tab.NumAccels() != p.NumAccels() {
+		t.Errorf("NumAccels = %d, want %d", tab.NumAccels(), p.NumAccels())
+	}
+	for j := 0; j < tab.NumJobs(); j++ {
+		for a := 0; a < tab.NumAccels(); a++ {
+			e := tab.At(j, a)
+			if e.Cycles <= 0 || e.ReqBWGBs <= 0 || e.Energy <= 0 {
+				t.Fatalf("job %d accel %d: non-positive entry %+v", j, a, e)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := testGroup(t, models.Vision, 10)
+	bad := platform.S1()
+	bad.SystemBWGBs = 0
+	if _, err := Build(g, bad); err == nil {
+		t.Error("invalid platform accepted")
+	}
+	if _, err := Build(workload.Group{}, platform.S1()); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+func TestBestAccelPrefersHBForFC(t *testing.T) {
+	// On the heterogeneous S2, FC-dominated recommendation jobs must
+	// prefer one of the HB cores (0..2), never the LB core (3).
+	g := testGroup(t, models.Recommendation, 30)
+	tab, err := Build(g, platform.S2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range g.Jobs {
+		if a := tab.BestAccel(j); a == 3 {
+			t.Errorf("job %d (%s) prefers the LB core", j, g.Jobs[j].Layer.Name)
+		}
+	}
+}
+
+func TestIdenticalRowsOnHomogeneous(t *testing.T) {
+	g := testGroup(t, models.Vision, 25)
+	tab, err := Build(g, platform.S1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range g.Jobs {
+		first := tab.At(j, 0)
+		for a := 1; a < tab.NumAccels(); a++ {
+			if tab.At(j, a) != first {
+				t.Fatalf("job %d differs across identical cores", j)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := testGroup(t, models.Mix, 30)
+	tab, err := Build(g, platform.S4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.Summarize()
+	if s.MeanCycles <= 0 || s.MeanReqBWGBs <= 0 {
+		t.Errorf("degenerate stats %+v", s)
+	}
+}
+
+func TestFig7TaskOrdering(t *testing.T) {
+	// Fig. 7(b-c): Vision has the highest per-job latency and the lowest
+	// required BW; Recommendation requires the most BW.
+	hb := maestro.Config{H: 64, W: platform.Width, SGBytes: 291 << 10, SLBytes: 1 << 10, Dataflow: maestro.HB}
+	stats := map[models.Task]Stats{}
+	for _, task := range []models.Task{models.Vision, models.Language, models.Recommendation} {
+		g := testGroup(t, task, 120)
+		var agg Stats
+		for _, j := range g.Jobs {
+			c, err := maestro.Analyze(j.Layer, j.Batch, hb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.MeanCycles += float64(c.Cycles)
+			agg.MeanReqBWGBs += maestro.RequiredBWGBs(c.BWPerCycle, platform.ClockHz)
+		}
+		agg.MeanCycles /= float64(len(g.Jobs))
+		agg.MeanReqBWGBs /= float64(len(g.Jobs))
+		stats[task] = agg
+	}
+	if !(stats[models.Vision].MeanCycles > stats[models.Recommendation].MeanCycles) {
+		t.Errorf("vision latency %.3g should exceed recom %.3g",
+			stats[models.Vision].MeanCycles, stats[models.Recommendation].MeanCycles)
+	}
+	if !(stats[models.Recommendation].MeanReqBWGBs > stats[models.Vision].MeanReqBWGBs) {
+		t.Errorf("recom req BW %.3g should exceed vision %.3g",
+			stats[models.Recommendation].MeanReqBWGBs, stats[models.Vision].MeanReqBWGBs)
+	}
+}
+
+func TestProfileModel(t *testing.T) {
+	hb := maestro.Config{H: 64, W: platform.Width, SGBytes: 291 << 10, SLBytes: 1 << 10, Dataflow: maestro.HB}
+	lb := hb
+	lb.Dataflow = maestro.LB
+	// Fig. 7(a): every profiled model runs slower but far less BW-hungry
+	// on LB — LB is never latency-preferred, only bandwidth-cheaper.
+	for _, name := range []string{"ResNet50", "VGG16", "MobileNetV2", "Shufflenet", "GPT2", "MobileBert", "DLRM", "NCF"} {
+		ph, err := ProfileModel(name, 2, hb)
+		if err != nil {
+			t.Fatalf("ProfileModel(%s, HB): %v", name, err)
+		}
+		pl, err := ProfileModel(name, 2, lb)
+		if err != nil {
+			t.Fatalf("ProfileModel(%s, LB): %v", name, err)
+		}
+		if pl.Cycles <= ph.Cycles {
+			t.Errorf("%s: LB cycles %.3g should exceed HB %.3g", name, pl.Cycles, ph.Cycles)
+		}
+		if pl.ReqBWGBs >= ph.ReqBWGBs {
+			t.Errorf("%s: LB req BW %.3g should trail HB %.3g", name, pl.ReqBWGBs, ph.ReqBWGBs)
+		}
+	}
+	if _, err := ProfileModel("nope", 1, hb); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCacheConsistency(t *testing.T) {
+	// Two jobs with identical layer+batch must share identical entries.
+	g := testGroup(t, models.Language, 200)
+	tab, err := Build(g, platform.S2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		model string
+		lname string
+		batch int
+	}
+	seen := map[key][]Entry{}
+	for j, job := range g.Jobs {
+		k := key{job.Model, job.Layer.Name, job.Batch}
+		if prev, ok := seen[k]; ok {
+			for a := range prev {
+				if prev[a] != tab.At(j, a) {
+					t.Fatalf("cache inconsistency for %v", k)
+				}
+			}
+		} else {
+			row := make([]Entry, tab.NumAccels())
+			for a := range row {
+				row[a] = tab.At(j, a)
+			}
+			seen[k] = row
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analyzer
+
+import (
+	"magma/internal/layer"
+	"magma/internal/models"
+)
+
+// modelByName resolves a model from the zoo. Kept behind a tiny wrapper
+// so tests can exercise the error path without a registry dependency.
+func modelByName(name string) (layer.Model, error) {
+	return models.ByName(name)
+}

@@ -1,0 +1,153 @@
+// Package encoding implements the M3E mapping encoding (§IV-A, Fig. 5a).
+//
+// An individual encodes a full global mapping for one group of jobs in
+// two genomes of group-size length each:
+//
+//   - the sub-accelerator-selection genome: one integer gene per job,
+//     naming the core the job runs on, and
+//   - the job-prioritizing genome: one float gene per job in [0,1),
+//     where lower values run earlier on their core (0 = highest priority).
+//
+// Decoding produces the per-core ordered queues of Fig. 4(a). A
+// continuous vector view (all genes in [0,1)) serves the black-box
+// optimizers, which perturb real vectors.
+package encoding
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"magma/internal/sim"
+)
+
+// Genome is one individual: a full encoded mapping.
+type Genome struct {
+	Accel []int     // sub-accelerator selection section
+	Prio  []float64 // job prioritizing section, values in [0,1)
+}
+
+// NumJobs returns the group size the genome encodes.
+func (g Genome) NumJobs() int { return len(g.Accel) }
+
+// Validate checks structural consistency against the problem dimensions.
+func (g Genome) Validate(nJobs, nAccels int) error {
+	if len(g.Accel) != nJobs || len(g.Prio) != nJobs {
+		return fmt.Errorf("encoding: genome sections %d/%d, want %d", len(g.Accel), len(g.Prio), nJobs)
+	}
+	for i, a := range g.Accel {
+		if a < 0 || a >= nAccels {
+			return fmt.Errorf("encoding: gene %d selects accel %d (nAccels=%d)", i, a, nAccels)
+		}
+	}
+	for i, p := range g.Prio {
+		if math.IsNaN(p) || p < 0 || p >= 1 {
+			return fmt.Errorf("encoding: gene %d priority %f outside [0,1)", i, p)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the genome.
+func (g Genome) Clone() Genome {
+	return Genome{
+		Accel: append([]int(nil), g.Accel...),
+		Prio:  append([]float64(nil), g.Prio...),
+	}
+}
+
+// Random draws a uniform random individual.
+func Random(nJobs, nAccels int, r *rand.Rand) Genome {
+	g := Genome{Accel: make([]int, nJobs), Prio: make([]float64, nJobs)}
+	for i := range g.Accel {
+		g.Accel[i] = r.Intn(nAccels)
+		g.Prio[i] = r.Float64()
+	}
+	return g
+}
+
+// Decode turns the genome into per-core ordered queues: jobs selecting a
+// core are sorted by ascending priority gene (ties by job ID, making the
+// decoding deterministic).
+func Decode(g Genome, nAccels int) sim.Mapping {
+	m := sim.Mapping{Queues: make([][]int, nAccels)}
+	for j, a := range g.Accel {
+		m.Queues[a] = append(m.Queues[a], j)
+	}
+	for a := range m.Queues {
+		q := m.Queues[a]
+		sort.SliceStable(q, func(x, y int) bool {
+			px, py := g.Prio[q[x]], g.Prio[q[y]]
+			if px != py {
+				return px < py
+			}
+			return q[x] < q[y]
+		})
+	}
+	return m
+}
+
+// ToVector flattens the genome into a continuous vector of length
+// 2×nJobs with every component in [0,1): the accel section is scaled by
+// nAccels, the priority section is copied.
+func (g Genome) ToVector(nAccels int) []float64 {
+	n := len(g.Accel)
+	v := make([]float64, 2*n)
+	for i, a := range g.Accel {
+		v[i] = (float64(a) + 0.5) / float64(nAccels)
+	}
+	copy(v[n:], g.Prio)
+	return v
+}
+
+// FromVector builds a genome from a continuous vector (inverse of
+// ToVector). Components are clamped into [0,1); the accel section is
+// quantized by flooring.
+func FromVector(v []float64, nAccels int) (Genome, error) {
+	if len(v)%2 != 0 {
+		return Genome{}, fmt.Errorf("encoding: odd vector length %d", len(v))
+	}
+	n := len(v) / 2
+	g := Genome{Accel: make([]int, n), Prio: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		g.Accel[i] = quantize(clamp01(v[i]), nAccels)
+		g.Prio[i] = clamp01(v[n+i])
+	}
+	return g, nil
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x), x < 0:
+		return 0
+	case x >= 1:
+		return math.Nextafter(1, 0)
+	default:
+		return x
+	}
+}
+
+func quantize(x float64, n int) int {
+	a := int(x * float64(n))
+	if a >= n {
+		a = n - 1
+	}
+	return a
+}
+
+// Key returns a compact comparable fingerprint of the decoded schedule:
+// genomes with the same key decode to the same mapping. Priorities are
+// reduced to their rank order per core, so it is stable under monotone
+// re-scaling of the priority genes.
+func (g Genome) Key(nAccels int) string {
+	m := Decode(g, nAccels)
+	buf := make([]byte, 0, 4*len(g.Accel)+len(m.Queues))
+	for _, q := range m.Queues {
+		for _, j := range q {
+			buf = append(buf, byte(j), byte(j>>8))
+		}
+		buf = append(buf, 0xff, 0xff)
+	}
+	return string(buf)
+}

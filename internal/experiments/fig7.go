@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"io"
+
+	"magma/internal/analyzer"
+	"magma/internal/maestro"
+	"magma/internal/models"
+	"magma/internal/platform"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Fig. 7: per-job no-stall latency and required BW on HB/LB dataflow styles",
+		Run:   runFig7,
+	})
+}
+
+// fig7Models are the three showcased models per task (Fig. 7a).
+var fig7Models = map[models.Task][]string{
+	models.Vision:         {"MobileNetV2", "ResNet50", "Shufflenet"},
+	models.Language:       {"GPT2", "MobileBert", "TransformerXL"},
+	models.Recommendation: {"DLRM", "WideDeep", "NCF"},
+}
+
+func fig7Configs() (hb, lb maestro.Config) {
+	hb = maestro.Config{H: 64, W: platform.Width, SGBytes: 291 << 10, SLBytes: 1 << 10, Dataflow: maestro.HB}
+	lb = hb
+	lb.Dataflow = maestro.LB
+	lb.SGBytes = 218 << 10
+	return hb, lb
+}
+
+func runFig7(c Config, w io.Writer) error {
+	c = c.withDefaults()
+	hb, lb := fig7Configs()
+
+	// (a) Per-model averages on (HB,64) and (LB,64).
+	ta := Table{
+		Title:   "Fig. 7(a): per-model average no-stall latency (cycles) and required BW (GB/s)",
+		Headers: []string{"Task", "Model", "Lat(HB,64)", "Lat(LB,64)", "BW(HB,64)", "BW(LB,64)"},
+	}
+	for _, task := range []models.Task{models.Vision, models.Language, models.Recommendation} {
+		var sumLatHB, sumLatLB, sumBWHB, sumBWLB float64
+		for _, name := range fig7Models[task] {
+			ph, err := analyzer.ProfileModel(name, 2, hb)
+			if err != nil {
+				return err
+			}
+			pl, err := analyzer.ProfileModel(name, 2, lb)
+			if err != nil {
+				return err
+			}
+			ta.Rows = append(ta.Rows, []string{
+				task.String(), name,
+				fmtG(ph.Cycles), fmtG(pl.Cycles), fmtG(ph.ReqBWGBs), fmtG(pl.ReqBWGBs),
+			})
+			sumLatHB += ph.Cycles
+			sumLatLB += pl.Cycles
+			sumBWHB += ph.ReqBWGBs
+			sumBWLB += pl.ReqBWGBs
+		}
+		n := float64(len(fig7Models[task]))
+		ta.Rows = append(ta.Rows, []string{
+			task.String(), "Ave.",
+			fmtG(sumLatHB / n), fmtG(sumLatLB / n), fmtG(sumBWHB / n), fmtG(sumBWLB / n),
+		})
+	}
+	ta.Notes = append(ta.Notes,
+		"paper shape: LB latency >> HB latency; LB required BW << HB; both hold per model")
+	if err := ta.Write(w); err != nil {
+		return err
+	}
+
+	// (b-c) Task averages over generated benchmark jobs on both styles.
+	tb := Table{
+		Title:   "Fig. 7(b-c): task-average no-stall latency (cycles) and required BW (GB/s), both dataflow styles pooled",
+		Headers: []string{"Task", "Ave. no-stall latency", "Ave. required BW"},
+	}
+	for _, task := range []models.Task{models.Vision, models.Language, models.Recommendation} {
+		g, err := c.group(task, int64(task))
+		if err != nil {
+			return err
+		}
+		var lat, bw float64
+		n := 0
+		for _, cfg := range []maestro.Config{hb, lb} {
+			for _, j := range g.Jobs {
+				cost, err := maestro.Analyze(j.Layer, j.Batch, cfg)
+				if err != nil {
+					return err
+				}
+				lat += float64(cost.Cycles)
+				bw += maestro.RequiredBWGBs(cost.BWPerCycle, platform.ClockHz)
+				n++
+			}
+		}
+		tb.Rows = append(tb.Rows, []string{task.String(), fmtG(lat / float64(n)), fmtG(bw / float64(n))})
+	}
+	tb.Notes = append(tb.Notes,
+		"paper shape: Vision has the highest per-job latency and the lowest BW requirement; Recom the largest BW requirement")
+	return tb.Write(w)
+}

@@ -1,0 +1,172 @@
+// Package heuristics implements the two manually-designed baseline
+// mappers the paper compares against (Table IV):
+//
+//   - Herald-like [49]: a heterogeneity-aware greedy mapper. Herald's
+//     core idea is dataflow-affinity matching: each layer is assigned to
+//     the sub-accelerator *type* whose dataflow suits it best, then
+//     load-balanced (earliest finish time) among the cores of that type
+//     only; each core runs its most bandwidth-hungry jobs first. The
+//     affinity-first rule is what degrades it on complex Mix workloads
+//     and large platforms (§VI-E): when one dataflow type has few cores,
+//     its affine jobs crowd them while other cores idle. The
+//     BW-front-loading is the behaviour visible in Fig. 15(a–b): Herald-
+//     like spends bandwidth aggressively at the start of the group,
+//     creating contention that MAGMA learns to avoid.
+//
+//   - AI-MT-like [3]: a mapper designed for homogeneous platforms. It
+//     balances queues by earliest finish time but estimates every job's
+//     latency from core 0's configuration — on a homogeneous platform
+//     that is exact; on a heterogeneous one it is dataflow-oblivious and
+//     strands FC-dominated jobs on LB cores (the 39–52× collapse of
+//     §VI-E). Its queue ordering interleaves memory-intensive with
+//     compute-intensive jobs to overlap fetch and compute, AI-MT's
+//     signature scheduling idea.
+//
+// Both produce a mapping directly (no search); they consume no samples
+// of the optimization budget.
+package heuristics
+
+import (
+	"sort"
+
+	"magma/internal/analyzer"
+	"magma/internal/maestro"
+	"magma/internal/sim"
+)
+
+// Mapper is a manual mapping policy.
+type Mapper interface {
+	// Name identifies the mapper as in the paper's figures.
+	Name() string
+	// Map builds a mapping for the analyzed group.
+	Map(t *analyzer.Table) (sim.Mapping, error)
+}
+
+// HeraldLike is the heterogeneity-aware greedy baseline.
+type HeraldLike struct{}
+
+// Name implements Mapper.
+func (HeraldLike) Name() string { return "Herald-like" }
+
+// Map implements Mapper.
+func (HeraldLike) Map(t *analyzer.Table) (sim.Mapping, error) {
+	nJobs, nAccels := t.NumJobs(), t.NumAccels()
+	m := sim.Mapping{Queues: make([][]int, nAccels)}
+	load := make([]float64, nAccels)
+	// Group cores by configuration: affinity matching targets core
+	// *types* (dataflow + size), not individual cores.
+	typeOf := make([]int, nAccels)
+	var types []maestro.Config
+	for a, s := range t.Platform.SubAccels {
+		found := -1
+		for ti, cfg := range types {
+			if cfg == s.Config {
+				found = ti
+				break
+			}
+		}
+		if found == -1 {
+			found = len(types)
+			types = append(types, s.Config)
+		}
+		typeOf[a] = found
+	}
+	// Place larger jobs first (longest-processing-time), using each
+	// job's best-core latency as its size.
+	order := make([]int, nJobs)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := order[a], order[b]
+		return t.At(ja, t.BestAccel(ja)).Cycles > t.At(jb, t.BestAccel(jb)).Cycles
+	})
+	for _, j := range order {
+		// Affinity first: the core type with the lowest no-stall latency
+		// for this job...
+		affType := typeOf[t.BestAccel(j)]
+		// ...then earliest finish time among cores of that type only.
+		best, bestFinish := -1, float64(0)
+		for a := 0; a < nAccels; a++ {
+			if typeOf[a] != affType {
+				continue
+			}
+			finish := load[a] + float64(t.At(j, a).Cycles)
+			if best == -1 || finish < bestFinish {
+				best, bestFinish = a, finish
+			}
+		}
+		m.Queues[best] = append(m.Queues[best], j)
+		load[best] = bestFinish
+	}
+	// Within each core, most bandwidth-hungry first (front-loaded BW use).
+	for a := range m.Queues {
+		q := m.Queues[a]
+		sort.SliceStable(q, func(x, y int) bool {
+			return t.At(q[x], a).ReqBWGBs > t.At(q[y], a).ReqBWGBs
+		})
+	}
+	return m, nil
+}
+
+// AIMTLike is the homogeneous-minded baseline.
+type AIMTLike struct{}
+
+// Name implements Mapper.
+func (AIMTLike) Name() string { return "AI-MT-like" }
+
+// Map implements Mapper.
+func (AIMTLike) Map(t *analyzer.Table) (sim.Mapping, error) {
+	nJobs, nAccels := t.NumJobs(), t.NumAccels()
+	m := sim.Mapping{Queues: make([][]int, nAccels)}
+	load := make([]float64, nAccels)
+	// Dataflow-oblivious: every core is assumed to behave like core 0.
+	order := make([]int, nJobs)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return t.At(order[a], 0).Cycles > t.At(order[b], 0).Cycles
+	})
+	for _, j := range order {
+		est := float64(t.At(j, 0).Cycles)
+		best, bestFinish := 0, float64(0)
+		for a := 0; a < nAccels; a++ {
+			finish := load[a] + est
+			if a == 0 || finish < bestFinish {
+				best, bestFinish = a, finish
+			}
+		}
+		m.Queues[best] = append(m.Queues[best], j)
+		load[best] = bestFinish
+	}
+	// AI-MT interleaving: sort each queue by memory intensity, then zip
+	// the two halves so memory-bound jobs overlap compute-bound ones.
+	for a := range m.Queues {
+		q := m.Queues[a]
+		sort.SliceStable(q, func(x, y int) bool {
+			return t.At(q[x], a).ReqBWGBs > t.At(q[y], a).ReqBWGBs
+		})
+		m.Queues[a] = interleave(q)
+	}
+	return m, nil
+}
+
+// interleave zips a descending-intensity list from both ends:
+// [hi1, lo1, hi2, lo2, ...], pairing memory-heavy with compute-heavy.
+func interleave(q []int) []int {
+	out := make([]int, 0, len(q))
+	lo, hi := 0, len(q)-1
+	for lo <= hi {
+		out = append(out, q[lo])
+		if lo != hi {
+			out = append(out, q[hi])
+		}
+		lo++
+		hi--
+	}
+	return out
+}
+
+// All returns the baseline mappers in the paper's figure order.
+func All() []Mapper { return []Mapper{HeraldLike{}, AIMTLike{}} }

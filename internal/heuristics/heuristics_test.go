@@ -1,0 +1,199 @@
+package heuristics
+
+import (
+	"testing"
+
+	"magma/internal/analyzer"
+	"magma/internal/maestro"
+	"magma/internal/models"
+	"magma/internal/platform"
+	"magma/internal/sim"
+	"magma/internal/workload"
+)
+
+func buildTable(t testing.TB, task models.Task, n int, p platform.Platform) *analyzer.Table {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{Task: task, NumJobs: n, GroupSize: n, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := analyzer.Build(w.Groups[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestMappersProduceValidMappings(t *testing.T) {
+	for _, m := range All() {
+		for _, p := range []platform.Platform{platform.S1(), platform.S2(), platform.S4()} {
+			t.Run(m.Name()+"/"+p.Name, func(t *testing.T) {
+				tab := buildTable(t, models.Mix, 40, p)
+				mapping, err := m.Map(tab)
+				if err != nil {
+					t.Fatalf("Map: %v", err)
+				}
+				if err := mapping.Validate(40, p.NumAccels()); err != nil {
+					t.Fatalf("invalid mapping: %v", err)
+				}
+				res, err := sim.Run(tab, mapping, sim.Options{})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if res.ThroughputGFLOPs <= 0 {
+					t.Error("zero throughput")
+				}
+			})
+		}
+	}
+}
+
+func TestHeraldRespectsAffinityOnHetero(t *testing.T) {
+	// Herald-like is heterogeneity-aware: it may park cheap jobs on the
+	// LB core (index 3 on S2), but must never let that core become the
+	// group's bottleneck for FC-dominated work.
+	tab := buildTable(t, models.Recommendation, 40, platform.S2())
+	mapping, err := HeraldLike{}.Map(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queueCycles := func(a int) float64 {
+		var sum float64
+		for _, j := range mapping.Queues[a] {
+			sum += float64(tab.At(j, a).Cycles)
+		}
+		return sum
+	}
+	lb := queueCycles(3)
+	var maxHB float64
+	for a := 0; a < 3; a++ {
+		if c := queueCycles(a); c > maxHB {
+			maxHB = c
+		}
+	}
+	if lb > 2*maxHB {
+		t.Errorf("Herald-like LB queue = %g cycles, HB max = %g: LB is the bottleneck", lb, maxHB)
+	}
+}
+
+func TestAIMTObliviousOnHetero(t *testing.T) {
+	// AI-MT-like balances by count (core-0 estimates), so the LB core
+	// receives roughly its proportional share of jobs.
+	tab := buildTable(t, models.Recommendation, 40, platform.S2())
+	mapping, err := AIMTLike{}.Map(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(mapping.Queues[3]); n < 5 {
+		t.Errorf("AI-MT-like put only %d jobs on the LB core; expected ~10 (oblivious)", n)
+	}
+}
+
+func TestHeteroGapMatchesPaper(t *testing.T) {
+	// §VI-E: on heterogeneous platforms Herald-like must dominate
+	// AI-MT-like by a large factor for FC-heavy tasks.
+	tab := buildTable(t, models.Mix, 60, platform.S2())
+	hm, err := HeraldLike{}.Map(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := AIMTLike{}.Map(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := sim.Run(tab, hm, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := sim.Run(tab, am, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.ThroughputGFLOPs < 2*ares.ThroughputGFLOPs {
+		t.Errorf("Herald %0.1f vs AI-MT %0.1f GFLOPs: expected >= 2x gap on hetero Mix",
+			hres.ThroughputGFLOPs, ares.ThroughputGFLOPs)
+	}
+}
+
+func TestHomogeneousParity(t *testing.T) {
+	// On homogeneous S1 both heuristics should be within ~2x of each
+	// other (Fig. 8: both work "rather well").
+	tab := buildTable(t, models.Mix, 60, platform.S1())
+	hm, _ := HeraldLike{}.Map(tab)
+	am, _ := AIMTLike{}.Map(tab)
+	hres, err := sim.Run(tab, hm, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := sim.Run(tab, am, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := hres.ThroughputGFLOPs, ares.ThroughputGFLOPs
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 2.5*lo {
+		t.Errorf("homogeneous gap too large: Herald %0.1f vs AI-MT %0.1f", hres.ThroughputGFLOPs, ares.ThroughputGFLOPs)
+	}
+}
+
+func TestHeraldFrontLoadsBW(t *testing.T) {
+	tab := buildTable(t, models.Mix, 40, platform.S2())
+	mapping, err := HeraldLike{}.Map(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, q := range mapping.Queues {
+		for i := 1; i < len(q); i++ {
+			if tab.At(q[i-1], a).ReqBWGBs < tab.At(q[i], a).ReqBWGBs-1e-9 {
+				t.Fatalf("core %d: BW not front-loaded at position %d", a, i)
+			}
+		}
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	got := interleave([]int{1, 2, 3, 4, 5})
+	want := []int{1, 5, 2, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleave = %v, want %v", got, want)
+		}
+	}
+	if out := interleave(nil); len(out) != 0 {
+		t.Errorf("interleave(nil) = %v", out)
+	}
+	if out := interleave([]int{7}); len(out) != 1 || out[0] != 7 {
+		t.Errorf("interleave([7]) = %v", out)
+	}
+}
+
+func TestMapperNames(t *testing.T) {
+	if (HeraldLike{}).Name() != "Herald-like" || (AIMTLike{}).Name() != "AI-MT-like" {
+		t.Error("mapper names diverge from the paper")
+	}
+	if len(All()) != 2 {
+		t.Errorf("All() = %d mappers", len(All()))
+	}
+}
+
+// Guard the premise of the AI-MT collapse: LB really is catastrophic for
+// FC jobs on S2 (otherwise the heuristics comparison is meaningless).
+func TestPremiseLBPenalty(t *testing.T) {
+	tab := buildTable(t, models.Recommendation, 20, platform.S2())
+	var worst float64
+	for j := 0; j < 20; j++ {
+		hb := float64(tab.At(j, 0).Cycles)
+		lb := float64(tab.At(j, 3).Cycles)
+		if r := lb / hb; r > worst {
+			worst = r
+		}
+	}
+	if worst < 50 {
+		t.Errorf("max LB/HB ratio = %g, expected >= 50 for FC jobs", worst)
+	}
+	if tab.Platform.SubAccels[3].Config.Dataflow != maestro.LB {
+		t.Fatal("S2 core 3 is not the LB core; test premise broken")
+	}
+}

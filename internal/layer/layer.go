@@ -1,0 +1,185 @@
+// Package layer defines the DNN layer abstraction shared by the whole
+// system: the model zoo describes networks as lists of layers, the cost
+// model prices a (layer, batch) job on a sub-accelerator, and the workload
+// generator turns layers into schedulable jobs.
+//
+// Following the paper (§II-A), three layer families matter for multi-tenant
+// inference: convolutions (2D / depthwise / pointwise) that dominate vision
+// models, and fully-connected / GEMM layers that model the MLP and attention
+// blocks of language and recommendation models. Embedding lookups are kept
+// on the host CPU by the paper and are therefore not represented here.
+package layer
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates the layer families supported by the cost model.
+type Kind uint8
+
+const (
+	// Conv2D is a standard 2D convolution with K output channels,
+	// C input channels and an R×S kernel.
+	Conv2D Kind = iota
+	// DepthwiseConv convolves each input channel with its own R×S
+	// kernel (K == C, no cross-channel reduction).
+	DepthwiseConv
+	// FC is a fully-connected (GEMM) layer: K outputs, C inputs.
+	// MLP blocks and attention projections are modeled as FC (§II-A).
+	FC
+)
+
+// String returns the conventional short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Conv2D:
+		return "CONV"
+	case DepthwiseConv:
+		return "DWCONV"
+	case FC:
+		return "FC"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Layer describes one DNN layer in the 7-dimensional loop-nest form used
+// by analytical accelerator cost models (K, C, Y, X, R, S, stride).
+// All dimensions refer to a single input sample; batching is applied by
+// the job abstraction on top.
+type Layer struct {
+	Name   string // human-readable identifier, e.g. "conv2_1/3x3"
+	Kind   Kind
+	K      int // output channels (FC: output features)
+	C      int // input channels (FC: input features)
+	Y      int // input height (FC: 1)
+	X      int // input width (FC: 1)
+	R      int // kernel height (FC: 1)
+	S      int // kernel width (FC: 1)
+	Stride int // spatial stride (FC: 1)
+}
+
+// NewFC builds a fully-connected layer with the given output and input
+// feature counts. Spatial dimensions collapse to 1.
+func NewFC(name string, out, in int) Layer {
+	return Layer{Name: name, Kind: FC, K: out, C: in, Y: 1, X: 1, R: 1, S: 1, Stride: 1}
+}
+
+// NewConv builds a standard 2D convolution layer.
+func NewConv(name string, k, c, y, x, r, s, stride int) Layer {
+	return Layer{Name: name, Kind: Conv2D, K: k, C: c, Y: y, X: x, R: r, S: s, Stride: stride}
+}
+
+// NewDepthwise builds a depthwise convolution layer over c channels.
+func NewDepthwise(name string, c, y, x, r, s, stride int) Layer {
+	return Layer{Name: name, Kind: DepthwiseConv, K: c, C: c, Y: y, X: x, R: r, S: s, Stride: stride}
+}
+
+// NewPointwise builds a 1×1 (pointwise) convolution, common in inverted
+// residual and shuffle blocks. It is an ordinary Conv2D with R=S=1.
+func NewPointwise(name string, k, c, y, x int) Layer {
+	return Layer{Name: name, Kind: Conv2D, K: k, C: c, Y: y, X: x, R: 1, S: 1, Stride: 1}
+}
+
+// Validate reports whether the layer dimensions are internally consistent.
+func (l Layer) Validate() error {
+	switch {
+	case l.K <= 0 || l.C <= 0 || l.Y <= 0 || l.X <= 0 || l.R <= 0 || l.S <= 0:
+		return fmt.Errorf("layer %q: non-positive dimension (K=%d C=%d Y=%d X=%d R=%d S=%d)",
+			l.Name, l.K, l.C, l.Y, l.X, l.R, l.S)
+	case l.Stride <= 0:
+		return fmt.Errorf("layer %q: non-positive stride %d", l.Name, l.Stride)
+	case l.R > l.Y || l.S > l.X:
+		return fmt.Errorf("layer %q: kernel (%dx%d) larger than input (%dx%d)", l.Name, l.R, l.S, l.Y, l.X)
+	case l.Kind == DepthwiseConv && l.K != l.C:
+		return fmt.Errorf("layer %q: depthwise layer requires K==C, got K=%d C=%d", l.Name, l.K, l.C)
+	case l.Kind == FC && (l.Y != 1 || l.X != 1 || l.R != 1 || l.S != 1):
+		return fmt.Errorf("layer %q: FC layer requires unit spatial dims", l.Name)
+	}
+	return nil
+}
+
+// OutY returns the output height of the layer.
+func (l Layer) OutY() int { return (l.Y-l.R)/l.Stride + 1 }
+
+// OutX returns the output width of the layer.
+func (l Layer) OutX() int { return (l.X-l.S)/l.Stride + 1 }
+
+// MACs returns the number of multiply-accumulate operations for a single
+// input sample.
+func (l Layer) MACs() int64 {
+	oy, ox := int64(l.OutY()), int64(l.OutX())
+	switch l.Kind {
+	case DepthwiseConv:
+		return int64(l.C) * int64(l.R) * int64(l.S) * oy * ox
+	default:
+		return int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S) * oy * ox
+	}
+}
+
+// FLOPs returns floating-point operations for one sample (2 per MAC).
+func (l Layer) FLOPs() int64 { return 2 * l.MACs() }
+
+// WeightElems returns the number of weight parameters of the layer.
+func (l Layer) WeightElems() int64 {
+	if l.Kind == DepthwiseConv {
+		return int64(l.C) * int64(l.R) * int64(l.S)
+	}
+	return int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+}
+
+// InputElems returns the number of input activations for one sample.
+func (l Layer) InputElems() int64 { return int64(l.C) * int64(l.Y) * int64(l.X) }
+
+// OutputElems returns the number of output activations for one sample.
+func (l Layer) OutputElems() int64 { return int64(l.K) * int64(l.OutY()) * int64(l.OutX()) }
+
+// String renders the layer in the compact "shape" notation used in the
+// paper's job-description figure (Fig. 1).
+func (l Layer) String() string {
+	if l.Kind == FC {
+		return fmt.Sprintf("%s %s[%d,%d]", l.Name, l.Kind, l.K, l.C)
+	}
+	return fmt.Sprintf("%s %s[%d,%d,%d,%d,%d,%d/%d]", l.Name, l.Kind, l.K, l.C, l.Y, l.X, l.R, l.S, l.Stride)
+}
+
+// ErrEmptyModel is returned when a model carries no layers.
+var ErrEmptyModel = errors.New("layer: model has no layers")
+
+// Model is a named sequence of layers.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Validate checks every layer of the model.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("%w (model %q)", ErrEmptyModel, m.Name)
+	}
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model %q: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// TotalFLOPs sums per-sample FLOPs over all layers.
+func (m Model) TotalFLOPs() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.FLOPs()
+	}
+	return sum
+}
+
+// TotalWeights sums the parameter counts over all layers.
+func (m Model) TotalWeights() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.WeightElems()
+	}
+	return sum
+}

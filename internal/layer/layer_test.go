@@ -1,0 +1,200 @@
+package layer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutputDims(t *testing.T) {
+	tests := []struct {
+		name         string
+		l            Layer
+		wantY, wantX int
+	}{
+		{"same-size 1x1", NewPointwise("pw", 8, 8, 14, 14), 14, 14},
+		{"3x3 stride1", NewConv("c", 4, 4, 16, 16, 3, 3, 1), 14, 14},
+		{"3x3 stride2", NewConv("c", 4, 4, 15, 15, 3, 3, 2), 7, 7},
+		{"7x7 stride2", NewConv("c", 64, 3, 229, 229, 7, 7, 2), 112, 112},
+		{"fc", NewFC("fc", 1000, 2048), 1, 1},
+		{"depthwise", NewDepthwise("dw", 32, 10, 10, 3, 3, 1), 8, 8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.l.OutY(); got != tt.wantY {
+				t.Errorf("OutY = %d, want %d", got, tt.wantY)
+			}
+			if got := tt.l.OutX(); got != tt.wantX {
+				t.Errorf("OutX = %d, want %d", got, tt.wantX)
+			}
+		})
+	}
+}
+
+func TestMACsAndFLOPs(t *testing.T) {
+	// FC 1000x2048: MACs = 1000*2048.
+	fc := NewFC("fc", 1000, 2048)
+	if got, want := fc.MACs(), int64(1000*2048); got != want {
+		t.Errorf("FC MACs = %d, want %d", got, want)
+	}
+	if got, want := fc.FLOPs(), int64(2*1000*2048); got != want {
+		t.Errorf("FC FLOPs = %d, want %d", got, want)
+	}
+	// Conv 3x3 on 16x16 with 4 in/out channels: 14*14 outputs.
+	conv := NewConv("c", 4, 4, 16, 16, 3, 3, 1)
+	if got, want := conv.MACs(), int64(4*4*3*3*14*14); got != want {
+		t.Errorf("Conv MACs = %d, want %d", got, want)
+	}
+	// Depthwise drops the cross-channel reduction.
+	dw := NewDepthwise("dw", 4, 16, 16, 3, 3, 1)
+	if got, want := dw.MACs(), int64(4*3*3*14*14); got != want {
+		t.Errorf("DW MACs = %d, want %d", got, want)
+	}
+}
+
+func TestElementCounts(t *testing.T) {
+	conv := NewConv("c", 8, 4, 16, 16, 3, 3, 1)
+	if got, want := conv.WeightElems(), int64(8*4*3*3); got != want {
+		t.Errorf("WeightElems = %d, want %d", got, want)
+	}
+	if got, want := conv.InputElems(), int64(4*16*16); got != want {
+		t.Errorf("InputElems = %d, want %d", got, want)
+	}
+	if got, want := conv.OutputElems(), int64(8*14*14); got != want {
+		t.Errorf("OutputElems = %d, want %d", got, want)
+	}
+	dw := NewDepthwise("dw", 4, 16, 16, 3, 3, 1)
+	if got, want := dw.WeightElems(), int64(4*3*3); got != want {
+		t.Errorf("DW WeightElems = %d, want %d", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		l       Layer
+		wantErr bool
+	}{
+		{"valid conv", NewConv("c", 4, 4, 8, 8, 3, 3, 1), false},
+		{"valid fc", NewFC("f", 10, 10), false},
+		{"zero channel", Layer{Name: "z", Kind: Conv2D, K: 0, C: 1, Y: 1, X: 1, R: 1, S: 1, Stride: 1}, true},
+		{"zero stride", Layer{Name: "z", Kind: Conv2D, K: 1, C: 1, Y: 4, X: 4, R: 1, S: 1, Stride: 0}, true},
+		{"kernel too large", NewConv("c", 1, 1, 2, 2, 3, 3, 1), true},
+		{"depthwise K!=C", Layer{Name: "d", Kind: DepthwiseConv, K: 3, C: 4, Y: 8, X: 8, R: 3, S: 3, Stride: 1}, true},
+		{"fc with spatial", Layer{Name: "f", Kind: FC, K: 2, C: 2, Y: 2, X: 1, R: 1, S: 1, Stride: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.l.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Conv2D.String() != "CONV" || DepthwiseConv.String() != "DWCONV" || FC.String() != "FC" {
+		t.Errorf("unexpected kind strings: %s %s %s", Conv2D, DepthwiseConv, FC)
+	}
+	if got := Kind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind should include numeric value, got %q", got)
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	fc := NewFC("dense", 128, 64)
+	if got := fc.String(); !strings.Contains(got, "FC[128,64]") {
+		t.Errorf("FC string = %q", got)
+	}
+	conv := NewConv("conv1", 64, 3, 224, 224, 7, 7, 2)
+	s := conv.String()
+	if !strings.Contains(s, "CONV") || !strings.Contains(s, "/2") {
+		t.Errorf("Conv string = %q", s)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := Model{Name: "tiny", Layers: []Layer{NewFC("a", 4, 4)}}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	empty := Model{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	bad := Model{Name: "bad", Layers: []Layer{{Name: "x"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid layer accepted")
+	}
+}
+
+func TestModelAggregates(t *testing.T) {
+	m := Model{Name: "two", Layers: []Layer{NewFC("a", 10, 20), NewFC("b", 5, 10)}}
+	if got, want := m.TotalFLOPs(), int64(2*(10*20+5*10)); got != want {
+		t.Errorf("TotalFLOPs = %d, want %d", got, want)
+	}
+	if got, want := m.TotalWeights(), int64(10*20+5*10); got != want {
+		t.Errorf("TotalWeights = %d, want %d", got, want)
+	}
+}
+
+// randomValidLayer builds an arbitrary valid layer from a seed.
+func randomValidLayer(r *rand.Rand) Layer {
+	switch r.Intn(3) {
+	case 0:
+		k := 1 + r.Intn(64)
+		c := 1 + r.Intn(64)
+		rr := 1 + r.Intn(5)
+		ss := 1 + r.Intn(5)
+		y := rr + r.Intn(32)
+		x := ss + r.Intn(32)
+		return NewConv("q", k, c, y, x, rr, ss, 1+r.Intn(3))
+	case 1:
+		c := 1 + r.Intn(64)
+		rr := 1 + r.Intn(5)
+		y := rr + r.Intn(32)
+		return NewDepthwise("q", c, y, y, rr, rr, 1+r.Intn(2))
+	default:
+		return NewFC("q", 1+r.Intn(1024), 1+r.Intn(1024))
+	}
+}
+
+// Property: every constructor-produced layer validates, and its derived
+// quantities are strictly positive and mutually consistent.
+func TestQuickLayerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomValidLayer(r)
+		if err := l.Validate(); err != nil {
+			t.Logf("layer %v invalid: %v", l, err)
+			return false
+		}
+		if l.MACs() <= 0 || l.FLOPs() != 2*l.MACs() {
+			return false
+		}
+		if l.WeightElems() <= 0 || l.InputElems() <= 0 || l.OutputElems() <= 0 {
+			return false
+		}
+		if l.OutY() > l.Y || l.OutX() > l.X {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: output elements never exceed input spatial positions times K.
+func TestQuickOutputBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomValidLayer(r)
+		return l.OutputElems() <= int64(l.K)*int64(l.Y)*int64(l.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

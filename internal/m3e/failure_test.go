@@ -1,0 +1,93 @@
+package m3e
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"magma/internal/encoding"
+	"magma/internal/models"
+	"magma/internal/platform"
+)
+
+// badOpt injects structurally invalid genomes among valid ones — the
+// runner must charge them against the budget at -Inf fitness rather
+// than abort (constraint-violating samples, §IV-C).
+type badOpt struct {
+	stubOpt
+	everyNth int
+	asked    int
+}
+
+func (b *badOpt) Ask() []encoding.Genome {
+	out := b.stubOpt.Ask()
+	for i := range out {
+		b.asked++
+		if b.everyNth > 0 && b.asked%b.everyNth == 0 {
+			out[i].Accel[0] = 999 // invalid core id
+		}
+	}
+	return out
+}
+
+func TestRunSurvivesInvalidGenomes(t *testing.T) {
+	prob := testProblem(t, models.Mix, 16, platform.S2(), Throughput)
+	opt := &badOpt{everyNth: 3}
+	res, err := Run(prob, opt, Options{Budget: 30}, 1)
+	if err != nil {
+		t.Fatalf("Run aborted on invalid genomes: %v", err)
+	}
+	if res.Samples != 30 {
+		t.Errorf("samples = %d, want 30 (invalid genomes still consume budget)", res.Samples)
+	}
+	if math.IsInf(res.BestFitness, -1) {
+		t.Error("no valid genome scored despite 2/3 being valid")
+	}
+	if err := res.Best.Validate(prob.NumJobs(), prob.NumAccels()); err != nil {
+		t.Errorf("best genome invalid: %v", err)
+	}
+}
+
+// allBadOpt never produces a valid genome: the run must still terminate
+// at the budget with a -Inf best.
+func TestRunAllInvalidGenomes(t *testing.T) {
+	prob := testProblem(t, models.Mix, 16, platform.S2(), Throughput)
+	opt := &badOpt{everyNth: 1}
+	res, err := Run(prob, opt, Options{Budget: 10}, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Samples != 10 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	if !math.IsInf(res.BestFitness, -1) {
+		t.Errorf("best fitness = %g, want -Inf", res.BestFitness)
+	}
+}
+
+// emptyOpt returns an empty batch — a broken optimizer contract the
+// runner must reject rather than loop forever.
+type emptyOpt struct{ stubOpt }
+
+func (e *emptyOpt) Ask() []encoding.Genome { return nil }
+
+func TestRunRejectsEmptyBatches(t *testing.T) {
+	prob := testProblem(t, models.Vision, 12, platform.S1(), Throughput)
+	if _, err := Run(prob, &emptyOpt{}, Options{Budget: 10}, 1); err == nil {
+		t.Error("empty-batch optimizer accepted")
+	}
+}
+
+func TestRunInitFailurePropagates(t *testing.T) {
+	prob := testProblem(t, models.Vision, 12, platform.S1(), Throughput)
+	if _, err := Run(prob, &failingInit{}, Options{Budget: 10}, 1); err == nil {
+		t.Error("failing Init not propagated")
+	}
+}
+
+type failingInit struct{ stubOpt }
+
+func (f *failingInit) Init(*Problem, *rand.Rand) error {
+	return errors.New("init failed")
+}

@@ -1,0 +1,215 @@
+// Package m3e is the Multi-workload Multi-accelerator Mapping Explorer
+// (§IV): the optimization framework that wraps the job analyzer, the
+// encoding, the BW allocator and a pluggable optimization algorithm into
+// the optimization–evaluation loop of Fig. 3.
+//
+// The framework is algorithm-agnostic: optimizers implement a small
+// Ask/Tell interface, which lets the runner account for every evaluated
+// sample (the paper compares methods at a fixed sampling budget) and
+// capture best-so-far convergence curves (Figs. 10, 11, 16).
+package m3e
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"magma/internal/analyzer"
+	"magma/internal/encoding"
+	"magma/internal/platform"
+	"magma/internal/sim"
+	"magma/internal/workload"
+)
+
+// Objective selects the fitness the framework maximizes (§IV-C).
+type Objective uint8
+
+const (
+	// Throughput maximizes group GFLOP/s (the paper's main objective).
+	Throughput Objective = iota
+	// Latency minimizes the group makespan.
+	Latency
+	// Energy minimizes total energy (compute + DRAM + leakage).
+	Energy
+	// EDP minimizes the energy-delay product.
+	EDP
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case Throughput:
+		return "Throughput"
+	case Latency:
+		return "Latency"
+	case Energy:
+		return "Energy"
+	case EDP:
+		return "EDP"
+	default:
+		return fmt.Sprintf("Objective(%d)", uint8(o))
+	}
+}
+
+// Problem is one mapping-search instance: a job group on a platform
+// under an objective, with its job analysis table prebuilt (§IV-E
+// pre-process step).
+type Problem struct {
+	Table     *analyzer.Table
+	Objective Objective
+	Group     workload.Group
+	Platform  platform.Platform
+	Task      fmt.Stringer // informative; used by the warm-start engine
+}
+
+// NewProblem builds the analysis table and wraps it as a Problem.
+func NewProblem(g workload.Group, p platform.Platform, obj Objective) (*Problem, error) {
+	if len(g.Jobs) < p.NumAccels() {
+		// §III: group size should be >= the number of sub-accelerators,
+		// otherwise some cores are guaranteed idle. We warn by error,
+		// since the benchmark never does this deliberately.
+		return nil, fmt.Errorf("m3e: group of %d jobs smaller than %d sub-accelerators",
+			len(g.Jobs), p.NumAccels())
+	}
+	tab, err := analyzer.Build(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{Table: tab, Objective: obj, Group: g, Platform: p}, nil
+}
+
+// NumJobs returns the group size.
+func (p *Problem) NumJobs() int { return len(p.Group.Jobs) }
+
+// NumAccels returns the platform core count.
+func (p *Problem) NumAccels() int { return p.Platform.NumAccels() }
+
+// Fitness converts a simulation result into a higher-is-better score.
+func (p *Problem) Fitness(res sim.Result) float64 {
+	switch p.Objective {
+	case Throughput:
+		return res.ThroughputGFLOPs
+	case Latency:
+		return -res.TotalCycles
+	case Energy:
+		return -res.Energy
+	case EDP:
+		return -res.Energy * res.Seconds
+	default:
+		return res.ThroughputGFLOPs
+	}
+}
+
+// Evaluate decodes and simulates one individual, returning its fitness.
+func (p *Problem) Evaluate(g encoding.Genome) (float64, error) {
+	if err := g.Validate(p.NumJobs(), p.NumAccels()); err != nil {
+		return 0, err
+	}
+	res, err := sim.Run(p.Table, encoding.Decode(g, p.NumAccels()), sim.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return p.Fitness(res), nil
+}
+
+// EvaluateMapping scores an already-decoded mapping (used for the
+// manual-heuristic baselines, which bypass the encoding).
+func (p *Problem) EvaluateMapping(m sim.Mapping) (float64, sim.Result, error) {
+	res, err := sim.Run(p.Table, m, sim.Options{})
+	if err != nil {
+		return 0, sim.Result{}, err
+	}
+	return p.Fitness(res), res, nil
+}
+
+// Optimizer is the pluggable search algorithm interface (§IV-B). The
+// runner repeatedly Asks for a batch of candidate individuals, evaluates
+// them (each evaluation consumes one unit of sampling budget), and Tells
+// the optimizer their fitness.
+type Optimizer interface {
+	// Name identifies the method (as in Table IV).
+	Name() string
+	// Init prepares the optimizer for a problem. It may inspect the
+	// analysis table (the RL methods build their observation features
+	// from it) but must not evaluate mappings.
+	Init(p *Problem, rng *rand.Rand) error
+	// Ask returns the next batch of candidates to evaluate.
+	Ask() []encoding.Genome
+	// Tell reports the fitness of the candidates returned by Ask.
+	// When the budget truncates a batch, only the evaluated prefix is
+	// reported.
+	Tell(genomes []encoding.Genome, fitness []float64)
+}
+
+// Seeder is implemented by optimizers that accept warm-start seeds
+// (§V-C): individuals injected into the initial population.
+type Seeder interface {
+	Seed(genomes []encoding.Genome)
+}
+
+// Result summarizes one search run.
+type Result struct {
+	Method      string
+	Best        encoding.Genome
+	BestFitness float64
+	Samples     int         // evaluations actually consumed
+	Curve       []float64   // best-so-far fitness after each sample
+	Explored    [][]float64 // sampled vectors (only when RecordSamples)
+}
+
+// Options tunes the runner.
+type Options struct {
+	Budget        int  // sampling budget (default 10000, §VI-B)
+	RecordSamples bool // keep every sampled vector (Fig. 10 PCA)
+}
+
+// DefaultBudget is the evaluation's sampling budget (§VI-B).
+const DefaultBudget = 10000
+
+// Run drives the optimization loop until the sampling budget is
+// exhausted (§IV-E). Candidates that fail validation count against the
+// budget with -Inf fitness, mirroring constraint-violating samples.
+func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
+	if o.Budget <= 0 {
+		o.Budget = DefaultBudget
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if err := opt.Init(p, rng); err != nil {
+		return Result{}, fmt.Errorf("m3e: init %s: %w", opt.Name(), err)
+	}
+	res := Result{Method: opt.Name(), BestFitness: math.Inf(-1)}
+	res.Curve = make([]float64, 0, o.Budget)
+	for res.Samples < o.Budget {
+		batch := opt.Ask()
+		if len(batch) == 0 {
+			return Result{}, fmt.Errorf("m3e: %s returned an empty batch", opt.Name())
+		}
+		if left := o.Budget - res.Samples; len(batch) > left {
+			batch = batch[:left]
+		}
+		fit := make([]float64, len(batch))
+		for i, g := range batch {
+			f, err := p.Evaluate(g)
+			if err != nil {
+				f = math.Inf(-1)
+			}
+			fit[i] = f
+			res.Samples++
+			if f > res.BestFitness {
+				res.BestFitness = f
+				res.Best = g.Clone()
+			}
+			res.Curve = append(res.Curve, res.BestFitness)
+			if o.RecordSamples {
+				res.Explored = append(res.Explored, g.ToVector(p.NumAccels()))
+			}
+		}
+		opt.Tell(batch, fit)
+	}
+	return res, nil
+}
+
+// BestMapping decodes the best individual found.
+func (r Result) BestMapping(nAccels int) sim.Mapping {
+	return encoding.Decode(r.Best, nAccels)
+}

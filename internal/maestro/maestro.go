@@ -1,0 +1,276 @@
+// Package maestro is an analytical cost model for DNN sub-accelerators,
+// standing in for the MAESTRO tool the paper uses (§IV-D3).
+//
+// M3E consumes exactly two quantities per (job, sub-accelerator) pair:
+//
+//   - no-stall latency: cycles to run the job assuming memory bandwidth
+//     is never the bottleneck, and
+//   - no-stall (required) bandwidth: the minimum DRAM/host bandwidth that
+//     keeps the sub-accelerator compute-bound.
+//
+// Both derive from first principles of the two dataflow styles evaluated
+// in the paper (§VI-A3):
+//
+//   - HB (high-bandwidth, NVDLA-inspired weight-stationary): the PE array
+//     parallelizes output × input channels (K across the array width, C
+//     across the height); when a layer's channels cannot fill the array
+//     (early CONV, depthwise), spare lanes pack output positions. High
+//     utilization nearly everywhere, but activations stream at array
+//     rate, so the required bandwidth is high.
+//   - LB (low-bandwidth, Eyeriss-inspired row-stationary): output rows
+//     (Y') map across the array height and filter rows (R) across the
+//     width. Operand reuse is maximal, so the bandwidth requirement is
+//     tiny — but utilization is poor (R rarely exceeds a handful of
+//     columns) and FC/GEMM layers with no spatial extent serialize
+//     catastrophically. LB is therefore never latency-preferred; its
+//     value is surviving bandwidth-starved platforms (Fig. 7, Fig. 13).
+//
+// The model also reports DRAM traffic, a first-order energy estimate, PE
+// utilization and buffer occupancy, and supports the flexible PE-array
+// shape search of §VI-F.
+package maestro
+
+import (
+	"fmt"
+	"math"
+
+	"magma/internal/layer"
+)
+
+// Dataflow selects the sub-accelerator's local mapping style.
+type Dataflow uint8
+
+const (
+	// HB is the high-bandwidth-usage, weight-stationary style (NVDLA-like).
+	HB Dataflow = iota
+	// LB is the low-bandwidth-usage, activation-parallel style (Eyeriss-like).
+	LB
+)
+
+// String returns the paper's abbreviation for the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case HB:
+		return "HB"
+	case LB:
+		return "LB"
+	default:
+		return fmt.Sprintf("Dataflow(%d)", uint8(d))
+	}
+}
+
+// ParseDataflow reads "HB" or "LB".
+func ParseDataflow(s string) (Dataflow, error) {
+	switch s {
+	case "HB", "hb":
+		return HB, nil
+	case "LB", "lb":
+		return LB, nil
+	}
+	return 0, fmt.Errorf("maestro: unknown dataflow %q", s)
+}
+
+// Config describes one sub-accelerator to the cost model.
+type Config struct {
+	H, W     int      // PE array height × width
+	SGBytes  int64    // shared global scratchpad (double-buffered)
+	SLBytes  int64    // per-PE local scratchpad
+	Dataflow Dataflow // local mapping style
+	Flexible bool     // §VI-F: PE-array shape is reconfigurable per layer
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.H <= 0 || c.W <= 0 {
+		return fmt.Errorf("maestro: non-positive PE array %dx%d", c.H, c.W)
+	}
+	if c.SGBytes <= 0 {
+		return fmt.Errorf("maestro: non-positive SG size %d", c.SGBytes)
+	}
+	return nil
+}
+
+// PEs returns the number of processing elements.
+func (c Config) PEs() int { return c.H * c.W }
+
+// Energy unit costs, normalized to one MAC, following the Eyeriss-style
+// storage-hierarchy ratios commonly used by analytical models.
+const (
+	energyMAC  = 1.0
+	energySL   = 1.0 // per-element local scratchpad access
+	energyNoC  = 2.0 // per-element array-level move
+	energySG   = 6.0 // per-element global scratchpad access
+	energyDRAM = 200.0
+)
+
+// Cost is the model's output for one (layer, batch) job on one config.
+type Cost struct {
+	Cycles      int64   // no-stall latency in cycles
+	DRAMBytes   int64   // total off-chip traffic
+	BWPerCycle  float64 // required bytes/cycle for no-stall execution
+	Energy      float64 // first-order energy in MAC-equivalents
+	Utilization float64 // MACs / (cycles × PEs)
+	ShapeH      int     // PE-array shape used (differs under Flexible)
+	ShapeW      int
+	MACs        int64
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// Analyze prices a job of `batch` samples of layer l on configuration
+// cfg. The layer must validate; batch must be positive.
+func Analyze(l layer.Layer, batch int, cfg Config) (Cost, error) {
+	if err := l.Validate(); err != nil {
+		return Cost{}, err
+	}
+	if batch <= 0 {
+		return Cost{}, fmt.Errorf("maestro: non-positive batch %d", batch)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Cost{}, err
+	}
+	if !cfg.Flexible {
+		return analyzeShape(l, batch, cfg, cfg.H, cfg.W), nil
+	}
+	return analyzeFlexible(l, batch, cfg), nil
+}
+
+// analyzeShape runs the fixed-shape analytical model with PE array h×w.
+func analyzeShape(l layer.Layer, batch int, cfg Config, h, w int) Cost {
+	n := int64(batch)
+	oy, ox := l.OutY(), l.OutX()
+	weights := l.WeightElems()
+	inputs := n * l.InputElems()
+	outputs := n * l.OutputElems()
+	macs := n * l.MACs()
+	half := cfg.SGBytes / 2 // double-buffered SG
+
+	var cycles int64
+	var dram int64
+	switch cfg.Dataflow {
+	case HB:
+		positions := int64(oy) * int64(ox)
+		var kIter, cIter, posIter int64
+		if l.Kind == layer.DepthwiseConv {
+			// No cross-channel reduction: channels map across the array
+			// width; the height lanes pack output positions.
+			kIter = 1
+			cIter = int64(ceilDiv(l.C, min(l.C, w)))
+			pack := min(int64(h), positions)
+			posIter = ceilDiv64(positions, pack)
+		} else {
+			kp := min(l.K, w)
+			cp := min(l.C, h)
+			kIter = int64(ceilDiv(l.K, kp))
+			cIter = int64(ceilDiv(l.C, cp))
+			// Channel-starved layers (early CONV) pack spare height
+			// lanes with output positions.
+			pack := min(int64(h/cp), positions)
+			if pack < 1 {
+				pack = 1
+			}
+			posIter = ceilDiv64(positions, pack)
+		}
+		cycles = n * kIter * cIter * posIter * int64(l.R) * int64(l.S)
+		// Reuse: if either operand fits in half the (double-buffered) SG
+		// it stays resident while the other streams, so everything moves
+		// once. Otherwise each of the kIter output-channel passes
+		// re-streams the cheaper operand.
+		dram = weights + inputs + outputs
+		if weights > half && inputs > half {
+			dram += (kIter - 1) * min(weights, inputs)
+		}
+	case LB:
+		// Row-stationary: output rows across the height, filter rows
+		// across the width. Work per mapped (row, filter-row) pair walks
+		// the X'·S·C·K loop (C·... for depthwise).
+		yp := min(oy, h)
+		rp := min(l.R, w)
+		rowTiles := int64(ceilDiv(oy, yp))
+		rIter := int64(ceilDiv(l.R, rp))
+		perPair := int64(ox) * int64(l.S) * int64(l.C)
+		if l.Kind != layer.DepthwiseConv {
+			perPair *= int64(l.K)
+		}
+		cycles = n * rowTiles * rIter * perPair
+		// Inputs/outputs move once; weights stay resident iff they fit in
+		// half the SG, else they stream once per row tile.
+		wFetch := int64(1)
+		if weights > half {
+			wFetch = n * rowTiles
+		}
+		dram = wFetch*weights + inputs + outputs
+	}
+	if cycles <= 0 {
+		cycles = 1
+	}
+
+	// First-order energy: every MAC plus SL traffic (two operand reads and
+	// one partial-sum write per MAC), NoC distribution and SG staging of
+	// the on-chip working set, and DRAM traffic.
+	onChip := float64(weights + inputs + outputs)
+	energy := float64(macs)*energyMAC +
+		3*float64(macs)*energySL +
+		onChip*energyNoC +
+		onChip*energySG +
+		float64(dram)*energyDRAM
+
+	return Cost{
+		Cycles:      cycles,
+		DRAMBytes:   dram, // 1 byte/element (§VI-A3)
+		BWPerCycle:  float64(dram) / float64(cycles),
+		Energy:      energy,
+		Utilization: float64(macs) / (float64(cycles) * float64(h*w)),
+		ShapeH:      h,
+		ShapeW:      w,
+		MACs:        macs,
+	}
+}
+
+// analyzeFlexible implements the §VI-F shape search: the PE count is
+// fixed, but the 2D shape is configurable. Candidate shapes are the
+// divisor pairs of the PE count; the minimum-latency shape wins
+// (ties broken toward lower required bandwidth).
+func analyzeFlexible(l layer.Layer, batch int, cfg Config) Cost {
+	pes := cfg.PEs()
+	best := analyzeShape(l, batch, cfg, cfg.H, cfg.W)
+	for h := 1; h <= pes; h++ {
+		if pes%h != 0 {
+			continue
+		}
+		w := pes / h
+		c := analyzeShape(l, batch, cfg, h, w)
+		if c.Cycles < best.Cycles ||
+			(c.Cycles == best.Cycles && c.BWPerCycle < best.BWPerCycle) {
+			best = c
+		}
+	}
+	return best
+}
+
+// RequiredBWGBs converts a per-cycle byte requirement into GB/s at the
+// given clock (Hz).
+func RequiredBWGBs(bwPerCycle float64, clockHz float64) float64 {
+	return bwPerCycle * clockHz / 1e9
+}
+
+// LatencySeconds converts cycles to seconds at the given clock (Hz).
+func LatencySeconds(cycles int64, clockHz float64) float64 {
+	return float64(cycles) / clockHz
+}
+
+// RooflineLatency returns the memory-bound execution time (in cycles) of
+// a job granted `allocBWPerCycle` bytes/cycle: cycles × max(1, req/alloc).
+// It matches the stretch model of the BW allocator (Algorithm 1).
+func RooflineLatency(c Cost, allocBWPerCycle float64) float64 {
+	if allocBWPerCycle <= 0 {
+		return math.Inf(1)
+	}
+	stretch := c.BWPerCycle / allocBWPerCycle
+	if stretch < 1 {
+		stretch = 1
+	}
+	return float64(c.Cycles) * stretch
+}

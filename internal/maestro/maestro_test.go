@@ -1,0 +1,279 @@
+package maestro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"magma/internal/layer"
+)
+
+var (
+	hb64 = Config{H: 64, W: 64, SGBytes: 291 << 10, SLBytes: 1 << 10, Dataflow: HB}
+	lb64 = Config{H: 64, W: 64, SGBytes: 218 << 10, SLBytes: 1 << 10, Dataflow: LB}
+)
+
+func mustAnalyze(t *testing.T, l layer.Layer, batch int, cfg Config) Cost {
+	t.Helper()
+	c, err := Analyze(l, batch, cfg)
+	if err != nil {
+		t.Fatalf("Analyze(%v): %v", l, err)
+	}
+	return c
+}
+
+func TestFCLatencyAsymmetry(t *testing.T) {
+	// The paper's core heterogeneity premise (Fig. 7): FC-dominated jobs
+	// run orders of magnitude faster on HB than on LB, because LB has no
+	// spatial dimensions to parallelize.
+	fc := layer.NewFC("fc", 1024, 1024)
+	chb := mustAnalyze(t, fc, 1, hb64)
+	clb := mustAnalyze(t, fc, 1, lb64)
+	if ratio := float64(clb.Cycles) / float64(chb.Cycles); ratio < 100 {
+		t.Errorf("LB/HB FC latency ratio = %.1f, want >= 100", ratio)
+	}
+	// ...and LB's required bandwidth is far lower.
+	if chb.BWPerCycle <= 10*clb.BWPerCycle {
+		t.Errorf("HB req BW %.3g not >> LB req BW %.3g", chb.BWPerCycle, clb.BWPerCycle)
+	}
+}
+
+func TestEarlyVsLateConvPreference(t *testing.T) {
+	// Fig. 7(a): LB is never latency-preferred, but its penalty is far
+	// smaller on early CONV layers (large spatial extent feeds the
+	// row-parallel array) than on late, channel-heavy ones (§VI-A3).
+	early := layer.NewConv("early", 64, 3, 230, 230, 7, 7, 2)
+	late := layer.NewConv("late", 512, 512, 9, 9, 3, 3, 1)
+	eHB, eLB := mustAnalyze(t, early, 1, hb64), mustAnalyze(t, early, 1, lb64)
+	lHB, lLB := mustAnalyze(t, late, 1, hb64), mustAnalyze(t, late, 1, lb64)
+	if eLB.Cycles < eHB.Cycles {
+		t.Errorf("early conv: LB (%d) latency-beat HB (%d); LB should never win", eLB.Cycles, eHB.Cycles)
+	}
+	eRatio := float64(eLB.Cycles) / float64(eHB.Cycles)
+	lRatio := float64(lLB.Cycles) / float64(lHB.Cycles)
+	if eRatio >= lRatio {
+		t.Errorf("LB/HB ratio early (%.1f) should be far below late (%.1f)", eRatio, lRatio)
+	}
+}
+
+func TestDepthwiseIsMemoryIntensiveOnHB(t *testing.T) {
+	// §IV-D1 motivates BW reallocation with depthwise CONVs being more
+	// memory-intensive than regular CONVs: per unit of compute they move
+	// more data (lower arithmetic intensity) and under-utilize the array.
+	dw := layer.NewDepthwise("dw", 144, 58, 58, 3, 3, 1)
+	pw := layer.NewPointwise("pw", 144, 144, 56, 56)
+	cdw := mustAnalyze(t, dw, 1, hb64)
+	cpw := mustAnalyze(t, pw, 1, hb64)
+	dwBytesPerMAC := float64(cdw.DRAMBytes) / float64(cdw.MACs)
+	pwBytesPerMAC := float64(cpw.DRAMBytes) / float64(cpw.MACs)
+	if dwBytesPerMAC <= pwBytesPerMAC {
+		t.Errorf("depthwise bytes/MAC %.3g should exceed pointwise %.3g on HB",
+			dwBytesPerMAC, pwBytesPerMAC)
+	}
+	if cdw.BWPerCycle <= cpw.BWPerCycle {
+		t.Errorf("depthwise required BW %.3g should exceed pointwise %.3g on HB",
+			cdw.BWPerCycle, cpw.BWPerCycle)
+	}
+}
+
+func TestCyclesLowerBound(t *testing.T) {
+	// No-stall latency can never beat perfect PE utilization.
+	ls := []layer.Layer{
+		layer.NewFC("fc", 1000, 2048),
+		layer.NewConv("c", 256, 128, 16, 16, 3, 3, 1),
+		layer.NewDepthwise("d", 96, 30, 30, 3, 3, 2),
+	}
+	for _, cfg := range []Config{hb64, lb64} {
+		for _, l := range ls {
+			for _, batch := range []int{1, 4, 32} {
+				c := mustAnalyze(t, l, batch, cfg)
+				minCycles := c.MACs / int64(cfg.PEs())
+				if c.Cycles < minCycles {
+					t.Errorf("%v on %v: cycles %d below ideal %d", l, cfg.Dataflow, c.Cycles, minCycles)
+				}
+				if c.Utilization > 1.0000001 {
+					t.Errorf("%v: utilization %f > 1", l, c.Utilization)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchScaling(t *testing.T) {
+	// Latency is linear in batch; required BW is non-increasing in batch
+	// for weight-heavy layers (weights amortize).
+	fc := layer.NewFC("fc", 512, 512)
+	c1 := mustAnalyze(t, fc, 1, hb64)
+	c8 := mustAnalyze(t, fc, 8, hb64)
+	if c8.Cycles != 8*c1.Cycles {
+		t.Errorf("batch-8 cycles = %d, want %d", c8.Cycles, 8*c1.Cycles)
+	}
+	if c8.BWPerCycle > c1.BWPerCycle {
+		t.Errorf("required BW grew with batch: %.3g -> %.3g", c1.BWPerCycle, c8.BWPerCycle)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	fc := layer.NewFC("fc", 8, 8)
+	if _, err := Analyze(fc, 0, hb64); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := Analyze(fc, 1, Config{H: 0, W: 64, SGBytes: 1}); err == nil {
+		t.Error("zero-height config accepted")
+	}
+	if _, err := Analyze(fc, 1, Config{H: 8, W: 8, SGBytes: 0, Dataflow: HB}); err == nil {
+		t.Error("zero SG accepted")
+	}
+	if _, err := Analyze(layer.Layer{Name: "bad"}, 1, hb64); err == nil {
+		t.Error("invalid layer accepted")
+	}
+}
+
+func TestFlexibleNeverWorse(t *testing.T) {
+	// §VI-F: with the same PE count, the flexible shape search can only
+	// reduce no-stall latency.
+	flex := hb64
+	flex.Flexible = true
+	flexLB := lb64
+	flexLB.Flexible = true
+	ls := []layer.Layer{
+		layer.NewFC("fc", 1000, 2048),
+		layer.NewConv("c", 96, 64, 58, 58, 3, 3, 1),
+		layer.NewConv("odd", 30, 14, 17, 17, 3, 3, 1),
+		layer.NewDepthwise("dw", 60, 20, 20, 3, 3, 1),
+	}
+	for _, l := range ls {
+		for _, pair := range [][2]Config{{hb64, flex}, {lb64, flexLB}} {
+			fixed := mustAnalyze(t, l, 2, pair[0])
+			flexc := mustAnalyze(t, l, 2, pair[1])
+			if flexc.Cycles > fixed.Cycles {
+				t.Errorf("%s/%v: flexible %d cycles > fixed %d", l.Name, pair[0].Dataflow, flexc.Cycles, fixed.Cycles)
+			}
+			if flexc.ShapeH*flexc.ShapeW != pair[0].PEs() {
+				t.Errorf("%s: flexible shape %dx%d does not preserve PE count %d",
+					l.Name, flexc.ShapeH, flexc.ShapeW, pair[0].PEs())
+			}
+		}
+	}
+}
+
+func TestFlexibleHigherBW(t *testing.T) {
+	// Fig. 14(b): the flexible mapping maximizes utilization, which
+	// increases per-cycle data demand; required BW should not drop on a
+	// layer where the shape actually changes.
+	l := layer.NewConv("c", 30, 200, 17, 17, 3, 3, 1)
+	flex := hb64
+	flex.Flexible = true
+	fixed := mustAnalyze(t, l, 1, hb64)
+	flexc := mustAnalyze(t, l, 1, flex)
+	if flexc.Cycles < fixed.Cycles && flexc.BWPerCycle < fixed.BWPerCycle {
+		t.Errorf("flexible got faster (%d<%d) AND cheaper BW (%.3g<%.3g); expected a BW price",
+			flexc.Cycles, fixed.Cycles, flexc.BWPerCycle, fixed.BWPerCycle)
+	}
+}
+
+func TestRooflineLatency(t *testing.T) {
+	c := Cost{Cycles: 1000, BWPerCycle: 4}
+	if got := RooflineLatency(c, 4); got != 1000 {
+		t.Errorf("full BW: got %f, want 1000", got)
+	}
+	if got := RooflineLatency(c, 8); got != 1000 {
+		t.Errorf("surplus BW must not speed up: got %f", got)
+	}
+	if got := RooflineLatency(c, 2); got != 2000 {
+		t.Errorf("half BW: got %f, want 2000", got)
+	}
+	if got := RooflineLatency(c, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero BW: got %f, want +Inf", got)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	// 1 byte/cycle at 200 MHz = 0.2 GB/s.
+	if got := RequiredBWGBs(1, 200e6); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("RequiredBWGBs = %f, want 0.2", got)
+	}
+	if got := LatencySeconds(200e6, 200e6); got != 1 {
+		t.Errorf("LatencySeconds = %f, want 1", got)
+	}
+}
+
+func TestDataflowStrings(t *testing.T) {
+	if HB.String() != "HB" || LB.String() != "LB" {
+		t.Errorf("dataflow strings: %s %s", HB, LB)
+	}
+	for _, s := range []string{"HB", "LB", "hb", "lb"} {
+		if _, err := ParseDataflow(s); err != nil {
+			t.Errorf("ParseDataflow(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseDataflow("XX"); err == nil {
+		t.Error("ParseDataflow accepted XX")
+	}
+}
+
+func randomLayer(r *rand.Rand) layer.Layer {
+	switch r.Intn(3) {
+	case 0:
+		rr, ss := 1+r.Intn(5), 1+r.Intn(5)
+		return layer.NewConv("q", 1+r.Intn(512), 1+r.Intn(512), rr+r.Intn(60), ss+r.Intn(60), rr, ss, 1+r.Intn(2))
+	case 1:
+		rr := 1 + r.Intn(5)
+		c := 1 + r.Intn(256)
+		return layer.NewDepthwise("q", c, rr+r.Intn(60), rr+r.Intn(60), rr, rr, 1+r.Intn(2))
+	default:
+		return layer.NewFC("q", 1+r.Intn(4096), 1+r.Intn(4096))
+	}
+}
+
+// Property: costs are strictly positive, finite, and the required BW is
+// exactly DRAM bytes over cycles.
+func TestQuickCostInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLayer(r)
+		cfg := Config{
+			H: 1 << (3 + r.Intn(5)), W: 64,
+			SGBytes:  int64(64<<10) << r.Intn(5),
+			SLBytes:  1 << 10,
+			Dataflow: Dataflow(r.Intn(2)),
+		}
+		batch := 1 + r.Intn(16)
+		c, err := Analyze(l, batch, cfg)
+		if err != nil {
+			return false
+		}
+		if c.Cycles <= 0 || c.DRAMBytes <= 0 || c.Energy <= 0 {
+			return false
+		}
+		if math.Abs(c.BWPerCycle-float64(c.DRAMBytes)/float64(c.Cycles)) > 1e-9*c.BWPerCycle {
+			return false
+		}
+		return c.Utilization > 0 && c.Utilization <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shrinking the SG can only increase traffic (monotone reuse).
+func TestQuickSGMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLayer(r)
+		big := Config{H: 64, W: 64, SGBytes: 4 << 20, SLBytes: 1 << 10, Dataflow: Dataflow(r.Intn(2))}
+		small := big
+		small.SGBytes = 16 << 10
+		batch := 1 + r.Intn(8)
+		cb, err1 := Analyze(l, batch, big)
+		cs, err2 := Analyze(l, batch, small)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return cs.DRAMBytes >= cb.DRAMBytes && cs.Cycles == cb.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package maestro
+
+import (
+	"fmt"
+
+	"magma/internal/layer"
+)
+
+// The §IV-D3 description of MAESTRO lists latency, energy, runtime,
+// power, and area among its outputs, and takes NoC latency/BW among its
+// inputs. This file provides that fuller reporting surface on top of
+// the core Analyze model: first-order area and power estimates, buffer
+// occupancy checks, and the array-level (NoC) traffic.
+
+// Area unit costs, normalized to one PE (MAC + control).
+const (
+	areaPE       = 1.0
+	areaSLPerKB  = 0.3 // per-PE scratchpad
+	areaSGPerKB  = 0.2 // shared scratchpad (denser SRAM)
+	areaNoCPerPE = 0.1 // distribution/reduction network
+)
+
+// Report is the full per-job cost breakdown.
+type Report struct {
+	Cost // embedded core result
+
+	// RuntimeSeconds is the no-stall latency at the given clock.
+	RuntimeSeconds float64
+	// AvgPower is energy / runtime (MAC-equivalents per second).
+	AvgPower float64
+	// AreaUnits is the sub-accelerator area estimate (PE-equivalents).
+	AreaUnits float64
+	// NoCBytes is the array-level traffic (operands distributed from the
+	// SG to the PEs plus outputs collected back).
+	NoCBytes int64
+	// NoCBytesPerCycle is the required NoC bandwidth for no-stall
+	// operation.
+	NoCBytesPerCycle float64
+	// SGOccupancyBytes is the steady-state working set staged in the
+	// shared scratchpad (one tile of each operand).
+	SGOccupancyBytes int64
+	// SGOverflow reports whether the working set exceeds half the
+	// (double-buffered) SG, forcing operand re-streaming.
+	SGOverflow bool
+}
+
+// AnalyzeReport runs the cost model and derives the full report at the
+// given clock frequency (Hz).
+func AnalyzeReport(l layer.Layer, batch int, cfg Config, clockHz float64) (Report, error) {
+	if clockHz <= 0 {
+		return Report{}, fmt.Errorf("maestro: non-positive clock %g", clockHz)
+	}
+	c, err := Analyze(l, batch, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	r := Report{Cost: c}
+	r.RuntimeSeconds = LatencySeconds(c.Cycles, clockHz)
+	if r.RuntimeSeconds > 0 {
+		r.AvgPower = c.Energy / r.RuntimeSeconds
+	}
+	r.AreaUnits = Area(cfg)
+
+	// Array-level traffic: every on-chip operand element crosses the NoC
+	// once per use epoch — inputs and weights distributed, outputs
+	// collected. First order: the compulsory volumes.
+	n := int64(batch)
+	r.NoCBytes = l.WeightElems() + n*l.InputElems() + n*l.OutputElems()
+	r.NoCBytesPerCycle = float64(r.NoCBytes) / float64(c.Cycles)
+
+	// Steady-state SG working set: one batch-tile of inputs and outputs
+	// plus the operand the dataflow keeps resident.
+	r.SGOccupancyBytes = l.WeightElems() + n*l.InputElems()
+	r.SGOverflow = r.SGOccupancyBytes > cfg.SGBytes/2
+	return r, nil
+}
+
+// Area estimates the sub-accelerator area in PE-equivalents from its
+// configuration.
+func Area(cfg Config) float64 {
+	pes := float64(cfg.PEs())
+	return pes*areaPE +
+		pes*float64(cfg.SLBytes)/1024*areaSLPerKB +
+		float64(cfg.SGBytes)/1024*areaSGPerKB +
+		pes*areaNoCPerPE
+}

@@ -1,0 +1,104 @@
+package maestro
+
+import (
+	"testing"
+
+	"magma/internal/layer"
+)
+
+func TestAnalyzeReportBasics(t *testing.T) {
+	l := layer.NewConv("c", 64, 32, 30, 30, 3, 3, 1)
+	r, err := AnalyzeReport(l, 4, hb64, 200e6)
+	if err != nil {
+		t.Fatalf("AnalyzeReport: %v", err)
+	}
+	if r.RuntimeSeconds <= 0 || r.AvgPower <= 0 || r.AreaUnits <= 0 {
+		t.Errorf("degenerate report %+v", r)
+	}
+	if r.NoCBytes <= 0 || r.NoCBytesPerCycle <= 0 {
+		t.Errorf("NoC traffic missing: %+v", r)
+	}
+	// NoC traffic must cover at least the DRAM traffic's compulsory part
+	// (everything from DRAM also crosses the array).
+	compulsory := l.WeightElems() + 4*(l.InputElems()+l.OutputElems())
+	if r.NoCBytes != compulsory {
+		t.Errorf("NoCBytes = %d, want compulsory %d", r.NoCBytes, compulsory)
+	}
+	if r.RuntimeSeconds != float64(r.Cycles)/200e6 {
+		t.Errorf("runtime inconsistent with cycles")
+	}
+}
+
+func TestAnalyzeReportErrors(t *testing.T) {
+	l := layer.NewFC("f", 8, 8)
+	if _, err := AnalyzeReport(l, 1, hb64, 0); err == nil {
+		t.Error("zero clock accepted")
+	}
+	if _, err := AnalyzeReport(l, 0, hb64, 200e6); err == nil {
+		t.Error("zero batch accepted")
+	}
+}
+
+func TestSGOverflowFlag(t *testing.T) {
+	small := layer.NewFC("small", 16, 16)
+	big := layer.NewFC("big", 4096, 4096)
+	const batch = 64 // both weights AND batched inputs overflow SG/2
+	rs, err := AnalyzeReport(small, 1, hb64, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := AnalyzeReport(big, batch, hb64, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.SGOverflow {
+		t.Error("tiny layer flagged as overflowing the SG")
+	}
+	if !rb.SGOverflow {
+		t.Error("16M-weight layer did not overflow a 291KB SG")
+	}
+	// When neither operand fits, re-streaming adds traffic beyond the
+	// compulsory volume.
+	compulsory := big.WeightElems() + batch*(big.InputElems()+big.OutputElems())
+	if rb.DRAMBytes <= compulsory {
+		t.Errorf("overflowing layer DRAM %d not above compulsory %d", rb.DRAMBytes, compulsory)
+	}
+}
+
+func TestAreaMonotoneInResources(t *testing.T) {
+	base := Config{H: 32, W: 64, SGBytes: 146 << 10, SLBytes: 1 << 10, Dataflow: HB}
+	bigger := base
+	bigger.H = 128
+	if Area(bigger) <= Area(base) {
+		t.Error("area not increasing in PE count")
+	}
+	moreSG := base
+	moreSG.SGBytes *= 4
+	if Area(moreSG) <= Area(base) {
+		t.Error("area not increasing in SG size")
+	}
+	// Table III intuition: the LB variants carry smaller buffers, hence
+	// less area than their HB siblings.
+	hbCore := Config{H: 128, W: 64, SGBytes: 580 << 10, SLBytes: 1 << 10, Dataflow: HB}
+	lbCore := Config{H: 128, W: 64, SGBytes: 434 << 10, SLBytes: 1 << 10, Dataflow: LB}
+	if Area(lbCore) >= Area(hbCore) {
+		t.Error("LB core with smaller SG should cost less area")
+	}
+}
+
+func TestPowerScalesWithUtilization(t *testing.T) {
+	// A well-utilized GEMM burns more power (energy over a shorter
+	// runtime) than the same volume run serialized on LB.
+	l := layer.NewFC("f", 1024, 1024)
+	hb, err := AnalyzeReport(l, 2, hb64, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := AnalyzeReport(l, 2, lb64, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.AvgPower <= lb.AvgPower {
+		t.Errorf("HB power %g should exceed LB %g on an FC layer", hb.AvgPower, lb.AvgPower)
+	}
+}

@@ -1,0 +1,81 @@
+package models
+
+import (
+	"fmt"
+
+	"magma/internal/layer"
+)
+
+// The language pool. Transformer stacks (GPT-2 [74], BERT [22],
+// MobileBERT, Transformer-XL [21], T5 [75], ELECTRA [17], XLM [52]) are
+// expressed as sequence GEMMs. A sequence GEMM [L×C]·[C×K] becomes a 1×1
+// convolution with Y=L, X=1 so the cost model prices L·K·C MACs and the
+// L-proportional activation traffic. Attention is decomposed per block
+// into: fused QKV projection, score product (K=L, C=H), context product
+// (K=H, C=L), output projection, and the two feed-forward GEMMs.
+
+var (
+	GPT2          = register(Language, buildTransformer("GPT2", 12, 768, 3072, 1024))
+	BERTBase      = register(Language, buildTransformer("BERT", 12, 768, 3072, 128))
+	MobileBERT    = register(Language, buildMobileBERT())
+	TransformerXL = register(Language, buildTransformer("TransformerXL", 16, 512, 2048, 256))
+	T5Small       = register(Language, buildTransformer("T5-small", 6, 512, 2048, 128))
+	ElectraSmall  = register(Language, buildTransformer("Electra", 12, 256, 1024, 128))
+	XLM           = register(Language, buildTransformer("XLM", 12, 1024, 4096, 256))
+)
+
+// seqFC models a GEMM applied across a length-l sequence: per sample it
+// computes l·out·in MACs and moves l·(in+out) activations.
+func seqFC(name string, out, in, l int) layer.Layer {
+	return layer.Layer{Name: name, Kind: layer.Conv2D, K: out, C: in, Y: l, X: 1, R: 1, S: 1, Stride: 1}
+}
+
+// transformerBlock appends the six GEMMs of one attention block.
+func transformerBlock(ls []layer.Layer, pre string, h, ffn, l int) []layer.Layer {
+	return append(ls,
+		seqFC(pre+".qkv", 3*h, h, l),
+		seqFC(pre+".score", l, h, l),   // QK^T across heads
+		seqFC(pre+".context", h, l, l), // scores × V
+		seqFC(pre+".out", h, h, l),
+		seqFC(pre+".ffn1", ffn, h, l),
+		seqFC(pre+".ffn2", h, ffn, l),
+	)
+}
+
+func buildTransformer(name string, blocks, h, ffn, l int) layer.Model {
+	var ls []layer.Layer
+	for b := 0; b < blocks; b++ {
+		ls = transformerBlock(ls, fmt.Sprintf("blk%d", b), h, ffn, l)
+	}
+	return layer.Model{Name: name, Layers: ls}
+}
+
+func buildMobileBERT() layer.Model {
+	// MobileBERT: 24 blocks with a 128-wide bottleneck inside a 512-wide
+	// body and stacked thin FFNs.
+	const (
+		blocks = 24
+		body   = 512
+		bneck  = 128
+		l      = 128
+	)
+	var ls []layer.Layer
+	for b := 0; b < blocks; b++ {
+		pre := fmt.Sprintf("blk%d", b)
+		ls = append(ls,
+			seqFC(pre+".in_bottleneck", bneck, body, l),
+			seqFC(pre+".qkv", 3*bneck, bneck, l),
+			seqFC(pre+".score", l, bneck, l),
+			seqFC(pre+".context", bneck, l, l),
+			seqFC(pre+".out", bneck, bneck, l),
+		)
+		for f := 0; f < 4; f++ { // stacked FFNs
+			ls = append(ls,
+				seqFC(fmt.Sprintf("%s.ffn%d.a", pre, f), body, bneck, l),
+				seqFC(fmt.Sprintf("%s.ffn%d.b", pre, f), bneck, body, l),
+			)
+		}
+		ls = append(ls, seqFC(pre+".out_bottleneck", body, bneck, l))
+	}
+	return layer.Model{Name: "MobileBert", Layers: ls}
+}

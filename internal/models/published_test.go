@@ -1,0 +1,113 @@
+package models
+
+import "testing"
+
+// Published-architecture sanity checks: transcribed models must land
+// near their published parameter and FLOP counts. Bounds are loose
+// (±40%) — transcriptions omit norms/biases and approximate attention —
+// but catch transposed dimensions or missing blocks outright.
+
+func TestPublishedParameterCounts(t *testing.T) {
+	cases := []struct {
+		model   string
+		paramsM float64 // published dense parameters, millions
+	}{
+		// Vision (conv + fc weights).
+		{"ResNet50", 25.5},
+		{"VGG16", 138},
+		{"MobileNetV2", 3.4},
+		{"SqueezeNet", 1.2},
+		{"GoogLeNet", 6.0},
+		// Language (attention + FFN weights; embeddings excluded).
+		{"BERT", 85}, // 12×(4·768² + 2·768·3072)
+		{"GPT2", 85}, // same block structure as BERT-base
+		{"Electra", 12},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.model)
+		if err != nil {
+			t.Fatalf("%s: %v", c.model, err)
+		}
+		gotM := float64(m.TotalWeights()) / 1e6
+		lo, hi := c.paramsM*0.6, c.paramsM*1.4
+		if gotM < lo || gotM > hi {
+			t.Errorf("%s params = %.1fM, published ~%.1fM", c.model, gotM, c.paramsM)
+		}
+	}
+}
+
+func TestTransformerBlockStructure(t *testing.T) {
+	// Every plain transformer must have 6 GEMMs per block.
+	cases := map[string]int{
+		"GPT2": 12, "BERT": 12, "TransformerXL": 16,
+		"T5-small": 6, "Electra": 12, "XLM": 12,
+	}
+	for name, blocks := range cases {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := len(m.Layers), 6*blocks; got != want {
+			t.Errorf("%s layers = %d, want %d (6 GEMMs x %d blocks)", name, got, want, blocks)
+		}
+	}
+	// MobileBERT: 24 blocks x 14 GEMMs (bottlenecks + 4 stacked FFNs).
+	mb, err := ByName("MobileBert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(mb.Layers), 24*14; got != want {
+		t.Errorf("MobileBert layers = %d, want %d", got, want)
+	}
+}
+
+func TestRecommendationTowerSizes(t *testing.T) {
+	// DLRM: bottom (13-512-256-64) + top (479-512-256-1) MLP stacks.
+	dlrm, err := ByName("DLRM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dlrm.Layers) != 6 {
+		t.Errorf("DLRM layers = %d, want 6", len(dlrm.Layers))
+	}
+	if dlrm.Layers[0].C != 13 {
+		t.Errorf("DLRM bottom input = %d, want the 13 dense features", dlrm.Layers[0].C)
+	}
+	if last := dlrm.Layers[len(dlrm.Layers)-1]; last.K != 1 {
+		t.Errorf("DLRM top output = %d, want 1 (CTR logit)", last.K)
+	}
+	// All ranking models end in a narrow head (<= 2 outputs).
+	for _, name := range []string{"WideDeep", "NCF", "DIN", "DIEN", "DeepRecSys"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := m.Layers[len(m.Layers)-1]
+		if last.K > 2 {
+			t.Errorf("%s head width = %d, want <= 2", name, last.K)
+		}
+	}
+}
+
+func TestVisionDepthwisePresence(t *testing.T) {
+	// Mobile architectures must carry depthwise layers; classic CNNs not.
+	hasDW := func(name string) bool {
+		m, _ := ByName(name)
+		for _, l := range m.Layers {
+			if l.Kind.String() == "DWCONV" {
+				return true
+			}
+		}
+		return false
+	}
+	for _, name := range []string{"MobileNetV2", "Shufflenet", "MnasNet"} {
+		if !hasDW(name) {
+			t.Errorf("%s has no depthwise layers", name)
+		}
+	}
+	for _, name := range []string{"VGG16", "ResNet50", "GoogLeNet", "SqueezeNet"} {
+		if hasDW(name) {
+			t.Errorf("%s unexpectedly has depthwise layers", name)
+		}
+	}
+}

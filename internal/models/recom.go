@@ -1,0 +1,61 @@
+package models
+
+import (
+	"fmt"
+
+	"magma/internal/layer"
+)
+
+// The recommendation pool: DLRM [65], Wide&Deep [13], NCF [30],
+// DIN [110], DIEN [109], DeepRecSys-style ranking MLP [27]. Embedding
+// lookups are served by the host CPU (§II-A); what reaches the
+// accelerator are the dense bottom/top MLP stacks, here expressed as FC
+// layers. DIEN's GRU is unrolled into its three gate GEMMs per step
+// group, matching its dense compute volume.
+
+var (
+	DLRM       = register(Recommendation, buildMLP("DLRM", [][2]int{{512, 13}, {256, 512}, {64, 256}, {512, 479}, {256, 512}, {1, 256}}))
+	WideDeep   = register(Recommendation, buildMLP("WideDeep", [][2]int{{1024, 1024}, {512, 1024}, {256, 512}, {1, 256}}))
+	NCF        = register(Recommendation, buildMLP("NCF", [][2]int{{256, 256}, {128, 256}, {64, 128}, {1, 128}}))
+	DIN        = register(Recommendation, buildDIN())
+	DIEN       = register(Recommendation, buildDIEN())
+	DeepRecSys = register(Recommendation, buildMLP("DeepRecSys", [][2]int{{1024, 512}, {1024, 1024}, {512, 1024}, {256, 512}, {1, 256}}))
+)
+
+func buildMLP(name string, dims [][2]int) layer.Model {
+	ls := make([]layer.Layer, 0, len(dims))
+	for i, d := range dims {
+		ls = append(ls, layer.NewFC(fmt.Sprintf("mlp%d", i), d[0], d[1]))
+	}
+	return layer.Model{Name: name, Layers: ls}
+}
+
+func buildDIN() layer.Model {
+	// Deep Interest Network: attention MLP over user behaviours (36-wide
+	// interaction features per behaviour, ~64 behaviours folded into the
+	// job batch) followed by the 200-80-2 ranking tower.
+	return layer.Model{Name: "DIN", Layers: []layer.Layer{
+		layer.NewFC("att.fc1", 36, 144),
+		layer.NewFC("att.fc2", 1, 36),
+		layer.NewFC("tower.fc1", 200, 288),
+		layer.NewFC("tower.fc2", 80, 200),
+		layer.NewFC("tower.fc3", 2, 80),
+	}}
+}
+
+func buildDIEN() layer.Model {
+	// Deep Interest Evolution Network: two GRU stages (update/reset/state
+	// gates as fused 3H×(H+I) GEMMs across the behaviour sequence) plus
+	// the DIN-style tower.
+	const h, in, seq = 100, 144, 32
+	ls := []layer.Layer{
+		seqFC("gru1.gates", 3*h, h+in, seq),
+		seqFC("gru2.gates", 3*h, 2*h, seq),
+		layer.NewFC("att.fc1", 36, 2*h),
+		layer.NewFC("att.fc2", 1, 36),
+		layer.NewFC("tower.fc1", 200, 2*h+in),
+		layer.NewFC("tower.fc2", 80, 200),
+		layer.NewFC("tower.fc3", 2, 80),
+	}
+	return layer.Model{Name: "DIEN", Layers: ls}
+}

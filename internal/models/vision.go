@@ -1,0 +1,254 @@
+package models
+
+import (
+	"fmt"
+
+	"magma/internal/layer"
+)
+
+// The vision pool. Architectures are transcribed from their publications:
+// ResNet-50 [29], MobileNetV2 [79], ShuffleNet [107], VGG-16 [87],
+// SqueezeNet [37], GoogLeNet [93], MnasNet [94]. Input resolution is
+// 224×224 throughout (inputs are padded to Y+R-1 so output sizes match the
+// published feature-map sizes without explicit padding bookkeeping).
+
+// ResNet50 et al. are exported handles into the registry.
+var (
+	ResNet50    = register(Vision, buildResNet50())
+	MobileNetV2 = register(Vision, buildMobileNetV2())
+	ShuffleNet  = register(Vision, buildShuffleNet())
+	VGG16       = register(Vision, buildVGG16())
+	SqueezeNet  = register(Vision, buildSqueezeNet())
+	GoogLeNet   = register(Vision, buildGoogLeNet())
+	MnasNet     = register(Vision, buildMnasNet())
+)
+
+// conv adds an implicitly padded convolution: the input spatial size is
+// grown by R-1 (S-1) so that OutY = ceil(y/stride), mirroring "same"
+// padding in the published models.
+func conv(name string, k, c, y, x, r, s, stride int) layer.Layer {
+	return layer.NewConv(name, k, c, y+r-1, x+s-1, r, s, stride)
+}
+
+func dwconv(name string, c, y, x, r, s, stride int) layer.Layer {
+	return layer.NewDepthwise(name, c, y+r-1, x+s-1, r, s, stride)
+}
+
+func buildResNet50() layer.Model {
+	ls := []layer.Layer{conv("conv1", 64, 3, 224, 224, 7, 7, 2)}
+	// Bottleneck stages: (mid, out, blocks, firstStride), input sizes after
+	// conv1+maxpool: 56x56.
+	stages := []struct {
+		mid, out, blocks, stride, size int
+	}{
+		{64, 256, 3, 1, 56},
+		{128, 512, 4, 2, 56},
+		{256, 1024, 6, 2, 28},
+		{512, 2048, 3, 2, 14},
+	}
+	in := 64
+	for si, st := range stages {
+		size := st.size
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			pre := fmt.Sprintf("res%d.%d", si+2, b)
+			ls = append(ls,
+				conv(pre+".a1x1", st.mid, in, size, size, 1, 1, 1),
+				conv(pre+".b3x3", st.mid, st.mid, size, size, 3, 3, stride),
+			)
+			outSize := (size + stride - 1) / stride
+			ls = append(ls, conv(pre+".c1x1", st.out, st.mid, outSize, outSize, 1, 1, 1))
+			if b == 0 {
+				ls = append(ls, conv(pre+".proj", st.out, in, size, size, 1, 1, stride))
+			}
+			in = st.out
+			size = outSize
+		}
+	}
+	ls = append(ls, layer.NewFC("fc", 1000, 2048))
+	return layer.Model{Name: "ResNet50", Layers: ls}
+}
+
+func buildMobileNetV2() layer.Model {
+	ls := []layer.Layer{conv("conv1", 32, 3, 224, 224, 3, 3, 2)}
+	// Inverted residual settings (t, c, n, s) from the paper.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	in, size := 32, 112
+	for gi, g := range cfg {
+		for b := 0; b < g.n; b++ {
+			stride := 1
+			if b == 0 {
+				stride = g.s
+			}
+			exp := in * g.t
+			pre := fmt.Sprintf("ir%d.%d", gi+1, b)
+			if g.t != 1 {
+				ls = append(ls, layer.NewPointwise(pre+".expand", exp, in, size, size))
+			}
+			ls = append(ls, dwconv(pre+".dw", exp, size, size, 3, 3, stride))
+			outSize := (size + stride - 1) / stride
+			ls = append(ls, layer.NewPointwise(pre+".project", g.c, exp, outSize, outSize))
+			in, size = g.c, outSize
+		}
+	}
+	ls = append(ls,
+		layer.NewPointwise("conv_last", 1280, in, size, size),
+		layer.NewFC("fc", 1000, 1280),
+	)
+	return layer.Model{Name: "MobileNetV2", Layers: ls}
+}
+
+func buildShuffleNet() layer.Model {
+	// ShuffleNet-v2 1.0x style: stages of (dw3x3 + pw1x1) split units.
+	ls := []layer.Layer{conv("conv1", 24, 3, 224, 224, 3, 3, 2)}
+	in, size := 24, 56 // after maxpool
+	stages := []struct{ out, blocks int }{{116, 4}, {232, 8}, {464, 4}}
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = 2
+			}
+			half := st.out / 2
+			pre := fmt.Sprintf("stage%d.%d", si+2, b)
+			branchIn := in
+			if b > 0 {
+				branchIn = half
+			}
+			ls = append(ls,
+				layer.NewPointwise(pre+".pw1", half, branchIn, size, size),
+				dwconv(pre+".dw", half, size, size, 3, 3, stride),
+			)
+			outSize := (size + stride - 1) / stride
+			ls = append(ls, layer.NewPointwise(pre+".pw2", half, half, outSize, outSize))
+			if b == 0 { // downsample branch
+				ls = append(ls,
+					dwconv(pre+".dws", branchIn, size, size, 3, 3, stride),
+					layer.NewPointwise(pre+".pws", half, branchIn, outSize, outSize),
+				)
+			}
+			in, size = st.out, outSize
+		}
+	}
+	ls = append(ls,
+		layer.NewPointwise("conv5", 1024, in, size, size),
+		layer.NewFC("fc", 1000, 1024),
+	)
+	return layer.Model{Name: "Shufflenet", Layers: ls}
+}
+
+func buildVGG16() layer.Model {
+	ls := []layer.Layer{}
+	blocks := []struct{ out, n, size int }{
+		{64, 2, 224}, {128, 2, 112}, {256, 3, 56}, {512, 3, 28}, {512, 3, 14},
+	}
+	in := 3
+	for bi, b := range blocks {
+		for i := 0; i < b.n; i++ {
+			ls = append(ls, conv(fmt.Sprintf("conv%d_%d", bi+1, i+1), b.out, in, b.size, b.size, 3, 3, 1))
+			in = b.out
+		}
+	}
+	ls = append(ls,
+		layer.NewFC("fc6", 4096, 512*7*7),
+		layer.NewFC("fc7", 4096, 4096),
+		layer.NewFC("fc8", 1000, 4096),
+	)
+	return layer.Model{Name: "VGG16", Layers: ls}
+}
+
+func buildSqueezeNet() layer.Model {
+	ls := []layer.Layer{conv("conv1", 96, 3, 224, 224, 7, 7, 2)}
+	// Fire modules: (squeeze, expand) channel counts at their feature sizes.
+	fires := []struct{ sq, ex, in, size int }{
+		{16, 64, 96, 55}, {16, 64, 128, 55}, {32, 128, 128, 55},
+		{32, 128, 256, 27}, {48, 192, 256, 27}, {48, 192, 384, 27}, {64, 256, 384, 27},
+		{64, 256, 512, 13},
+	}
+	for i, f := range fires {
+		pre := fmt.Sprintf("fire%d", i+2)
+		ls = append(ls,
+			layer.NewPointwise(pre+".squeeze", f.sq, f.in, f.size, f.size),
+			layer.NewPointwise(pre+".expand1", f.ex, f.sq, f.size, f.size),
+			conv(pre+".expand3", f.ex, f.sq, f.size, f.size, 3, 3, 1),
+		)
+	}
+	ls = append(ls, layer.NewPointwise("conv10", 1000, 512, 13, 13))
+	return layer.Model{Name: "SqueezeNet", Layers: ls}
+}
+
+func buildGoogLeNet() layer.Model {
+	ls := []layer.Layer{
+		conv("conv1", 64, 3, 224, 224, 7, 7, 2),
+		layer.NewPointwise("conv2.red", 64, 64, 56, 56),
+		conv("conv2", 192, 64, 56, 56, 3, 3, 1),
+	}
+	// Inception modules: in, {1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj}, size.
+	type inc struct {
+		in, p1, r3, p3, r5, p5, pp, size int
+	}
+	incs := []inc{
+		{192, 64, 96, 128, 16, 32, 32, 28},
+		{256, 128, 128, 192, 32, 96, 64, 28},
+		{480, 192, 96, 208, 16, 48, 64, 14},
+		{512, 160, 112, 224, 24, 64, 64, 14},
+		{512, 128, 128, 256, 24, 64, 64, 14},
+		{512, 112, 144, 288, 32, 64, 64, 14},
+		{528, 256, 160, 320, 32, 128, 128, 14},
+		{832, 256, 160, 320, 32, 128, 128, 7},
+		{832, 384, 192, 384, 48, 128, 128, 7},
+	}
+	for i, m := range incs {
+		pre := fmt.Sprintf("inc%d", i+3)
+		ls = append(ls,
+			layer.NewPointwise(pre+".1x1", m.p1, m.in, m.size, m.size),
+			layer.NewPointwise(pre+".3x3red", m.r3, m.in, m.size, m.size),
+			conv(pre+".3x3", m.p3, m.r3, m.size, m.size, 3, 3, 1),
+			layer.NewPointwise(pre+".5x5red", m.r5, m.in, m.size, m.size),
+			conv(pre+".5x5", m.p5, m.r5, m.size, m.size, 5, 5, 1),
+			layer.NewPointwise(pre+".pool", m.pp, m.in, m.size, m.size),
+		)
+	}
+	ls = append(ls, layer.NewFC("fc", 1000, 1024))
+	return layer.Model{Name: "GoogLeNet", Layers: ls}
+}
+
+func buildMnasNet() layer.Model {
+	// MnasNet-A1-like: sepconv + MBConv blocks.
+	ls := []layer.Layer{
+		conv("conv1", 32, 3, 224, 224, 3, 3, 2),
+		dwconv("sep.dw", 32, 112, 112, 3, 3, 1),
+		layer.NewPointwise("sep.pw", 16, 32, 112, 112),
+	}
+	cfg := []struct{ t, c, n, s, k int }{
+		{6, 24, 2, 2, 3}, {3, 40, 3, 2, 5}, {6, 80, 4, 2, 3},
+		{6, 112, 2, 1, 3}, {6, 160, 3, 2, 5}, {6, 320, 1, 1, 3},
+	}
+	in, size := 16, 112
+	for gi, g := range cfg {
+		for b := 0; b < g.n; b++ {
+			stride := 1
+			if b == 0 {
+				stride = g.s
+			}
+			exp := in * g.t
+			pre := fmt.Sprintf("mb%d.%d", gi+1, b)
+			ls = append(ls, layer.NewPointwise(pre+".expand", exp, in, size, size))
+			ls = append(ls, dwconv(pre+".dw", exp, size, size, g.k, g.k, stride))
+			outSize := (size + stride - 1) / stride
+			ls = append(ls, layer.NewPointwise(pre+".project", g.c, exp, outSize, outSize))
+			in, size = g.c, outSize
+		}
+	}
+	ls = append(ls,
+		layer.NewPointwise("conv_head", 1280, in, size, size),
+		layer.NewFC("fc", 1000, 1280),
+	)
+	return layer.Model{Name: "MnasNet", Layers: ls}
+}

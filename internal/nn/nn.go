@@ -1,0 +1,309 @@
+// Package nn is a small, dependency-free neural-network substrate for
+// the reinforcement-learning mappers (Table IV): dense layers with
+// ReLU/tanh activations, a categorical (softmax) head, and the RMSProp
+// and Adam optimizers the paper configures for A2C and PPO2. It
+// supports exactly what policy-gradient training needs — forward passes
+// that cache activations and a backward pass accumulating gradients.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation uint8
+
+const (
+	// Linear applies no nonlinearity (output heads).
+	Linear Activation = iota
+	// ReLU applies max(0, x).
+	ReLU
+	// Tanh applies tanh(x).
+	Tanh
+)
+
+// Dense is one fully-connected layer with weights W[out][in] and bias.
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       [][]float64
+	B       []float64
+
+	gradW [][]float64
+	gradB []float64
+}
+
+// NewDense builds a dense layer with He/Xavier-style initialization.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Act: act}
+	scale := math.Sqrt(2.0 / float64(in))
+	if act == Tanh || act == Linear {
+		scale = math.Sqrt(1.0 / float64(in))
+	}
+	d.W = make([][]float64, out)
+	d.gradW = make([][]float64, out)
+	for o := 0; o < out; o++ {
+		d.W[o] = make([]float64, in)
+		d.gradW[o] = make([]float64, in)
+		for i := 0; i < in; i++ {
+			d.W[o][i] = rng.NormFloat64() * scale
+		}
+	}
+	d.B = make([]float64, out)
+	d.gradB = make([]float64, out)
+	return d
+}
+
+// MLP is a stack of dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes (len >= 2), hidden
+// activation for all but the last layer, and a Linear output layer.
+// The paper's policy/critic networks are 3 hidden layers of 128 (§VI-B).
+func NewMLP(sizes []int, hidden Activation, rng *rand.Rand) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs >= 2 sizes, got %d", len(sizes))
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hidden
+		if i+2 == len(sizes) {
+			act = Linear
+		}
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], act, rng))
+	}
+	return m, nil
+}
+
+// Tape records the activations of one forward pass so the matching
+// backward pass can compute gradients.
+type Tape struct {
+	inputs [][]float64 // input to each layer
+	pre    [][]float64 // pre-activation of each layer
+	Out    []float64
+}
+
+// Forward runs the network and returns a tape for backprop.
+func (m *MLP) Forward(x []float64) (*Tape, error) {
+	if len(x) != m.Layers[0].In {
+		return nil, fmt.Errorf("nn: input size %d, want %d", len(x), m.Layers[0].In)
+	}
+	t := &Tape{}
+	cur := x
+	for _, l := range m.Layers {
+		t.inputs = append(t.inputs, cur)
+		pre := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			w := l.W[o]
+			for i, xi := range cur {
+				s += w[i] * xi
+			}
+			pre[o] = s
+		}
+		t.pre = append(t.pre, pre)
+		cur = applyAct(l.Act, pre)
+	}
+	t.Out = cur
+	return t, nil
+}
+
+func applyAct(a Activation, pre []float64) []float64 {
+	out := make([]float64, len(pre))
+	switch a {
+	case ReLU:
+		for i, v := range pre {
+			if v > 0 {
+				out[i] = v
+			}
+		}
+	case Tanh:
+		for i, v := range pre {
+			out[i] = math.Tanh(v)
+		}
+	default:
+		copy(out, pre)
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients for one recorded forward
+// pass, given dL/dOut, and returns dL/dInput.
+func (m *MLP) Backward(t *Tape, dOut []float64) []float64 {
+	grad := dOut
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		l := m.Layers[li]
+		pre := t.pre[li]
+		// dL/dpre = dL/dout ∘ act'(pre)
+		dPre := make([]float64, l.Out)
+		switch l.Act {
+		case ReLU:
+			for o := range dPre {
+				if pre[o] > 0 {
+					dPre[o] = grad[o]
+				}
+			}
+		case Tanh:
+			for o := range dPre {
+				th := math.Tanh(pre[o])
+				dPre[o] = grad[o] * (1 - th*th)
+			}
+		default:
+			copy(dPre, grad)
+		}
+		in := t.inputs[li]
+		dIn := make([]float64, l.In)
+		for o := 0; o < l.Out; o++ {
+			g := dPre[o]
+			if g == 0 {
+				continue
+			}
+			l.gradB[o] += g
+			w := l.W[o]
+			gw := l.gradW[o]
+			for i := 0; i < l.In; i++ {
+				gw[i] += g * in[i]
+				dIn[i] += g * w[i]
+			}
+		}
+		grad = dIn
+	}
+	return grad
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		for o := range l.gradW {
+			for i := range l.gradW[o] {
+				l.gradW[o][i] = 0
+			}
+			l.gradB[o] = 0
+		}
+	}
+}
+
+// ScaleGrad multiplies all accumulated gradients by s (e.g. to average
+// over a batch before stepping).
+func (m *MLP) ScaleGrad(s float64) {
+	for _, l := range m.Layers {
+		for o := range l.gradW {
+			for i := range l.gradW[o] {
+				l.gradW[o][i] *= s
+			}
+			l.gradB[o] *= s
+		}
+	}
+}
+
+// ClipGrad scales gradients so their global L2 norm is at most c.
+func (m *MLP) ClipGrad(c float64) {
+	var sq float64
+	for _, l := range m.Layers {
+		for o := range l.gradW {
+			for _, g := range l.gradW[o] {
+				sq += g * g
+			}
+			sq += l.gradB[o] * l.gradB[o]
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= c || norm == 0 {
+		return
+	}
+	scale := c / norm
+	for _, l := range m.Layers {
+		for o := range l.gradW {
+			for i := range l.gradW[o] {
+				l.gradW[o][i] *= scale
+			}
+			l.gradB[o] *= scale
+		}
+	}
+}
+
+// Softmax returns the softmax distribution of logits (numerically
+// stabilized).
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the distribution.
+func SampleCategorical(probs []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var c float64
+	for i, p := range probs {
+		c += p
+		if u < c {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// LogProb returns log(probs[idx]) guarded against zero.
+func LogProb(probs []float64, idx int) float64 {
+	p := probs[idx]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return math.Log(p)
+}
+
+// Entropy returns the Shannon entropy of the distribution.
+func Entropy(probs []float64) float64 {
+	var h float64
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// SoftmaxBackward converts dL/dprobs-style gradients expressed through a
+// chosen action's log-prob into dL/dlogits: for loss L = -adv·log p[a],
+// dL/dlogits[i] = adv·(p[i] - 1{i==a}) ... callers supply coefficient
+// `coef` so dL/dlogits[i] = coef·(p[i] - onehot[a][i]).
+func SoftmaxBackward(probs []float64, action int, coef float64) []float64 {
+	d := make([]float64, len(probs))
+	for i, p := range probs {
+		d[i] = coef * p
+	}
+	d[action] -= coef
+	return d
+}
+
+// EntropyBackward returns d(-beta·H)/dlogits, the gradient of an entropy
+// *bonus* (maximizing entropy) with strength beta.
+func EntropyBackward(probs []float64, beta float64) []float64 {
+	// dH/dlogit_i = -p_i (log p_i + H)... maximizing H means descending
+	// -beta·H, so dL/dlogit_i = beta · p_i (log p_i + H).
+	h := Entropy(probs)
+	d := make([]float64, len(probs))
+	for i, p := range probs {
+		lp := math.Log(math.Max(p, 1e-12))
+		d[i] = beta * p * (lp + h)
+	}
+	return d
+}

@@ -1,0 +1,128 @@
+package cmaes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+func TestBattery(t *testing.T) {
+	opttest.Battery(t, func() m3e.Optimizer { return New(Config{Lambda: 16}) }, 400, 1.0)
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{})
+	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if o.mu != o.lambda/2 {
+		t.Errorf("mu = %d, want lambda/2 = %d (Table IV elite = half)", o.mu, o.lambda/2)
+	}
+	var sum float64
+	for i := 1; i < len(o.weights); i++ {
+		if o.weights[i] > o.weights[i-1] {
+			t.Error("weights not decreasing")
+		}
+	}
+	for _, w := range o.weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %g", sum)
+	}
+	if o.mueff <= 1 || o.mueff > float64(o.mu) {
+		t.Errorf("mueff = %g outside (1, mu]", o.mueff)
+	}
+}
+
+func TestAskProducesValidGenomes(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{Lambda: 12})
+	if err := o.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 5; gen++ {
+		gs := o.Ask()
+		if len(gs) != 12 {
+			t.Fatalf("lambda = %d, want 12", len(gs))
+		}
+		fit := make([]float64, len(gs))
+		for i, g := range gs {
+			if err := g.Validate(16, 4); err != nil {
+				t.Fatalf("gen %d individual %d invalid: %v", gen, i, err)
+			}
+			fit[i] = float64(i)
+		}
+		o.Tell(gs, fit)
+	}
+}
+
+func TestSigmaStaysPositiveAndBounded(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{Lambda: 10})
+	if err := o.Init(prob, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	for gen := 0; gen < 40; gen++ {
+		gs := o.Ask()
+		fit := make([]float64, len(gs))
+		for i := range fit {
+			fit[i] = r.NormFloat64()
+		}
+		o.Tell(gs, fit)
+		if o.sigma <= 0 || o.sigma > 1 || math.IsNaN(o.sigma) {
+			t.Fatalf("gen %d: sigma = %g", gen, o.sigma)
+		}
+	}
+}
+
+// TestSphereConvergence checks the CMA-ES machinery on a classic
+// benchmark: minimizing ||x - x*||² over the unit box must steer the
+// mean toward x*. We bypass the mapping problem and drive Ask/Tell with
+// a synthetic fitness on the sampled vectors.
+func TestSphereConvergence(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 8, platform.S2()) // dim = 16
+	o := New(Config{Lambda: 16})
+	if err := o.Init(prob, rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	target := make([]float64, o.n)
+	for i := range target {
+		target[i] = 0.3
+	}
+	dist := func(v []float64) float64 {
+		var s float64
+		for i := range v {
+			d := v[i] - target[i]
+			s += d * d
+		}
+		return s
+	}
+	start := dist(o.mean)
+	for gen := 0; gen < 120; gen++ {
+		gs := o.Ask()
+		fit := make([]float64, len(gs))
+		for i := range gs {
+			fit[i] = -dist(o.xs[i]) // maximize = minimize distance
+		}
+		o.Tell(gs, fit)
+	}
+	end := dist(o.mean)
+	if end > start/10 {
+		t.Errorf("sphere: mean distance %g -> %g, expected 10x reduction", start, end)
+	}
+}
+
+func TestArgsortDesc(t *testing.T) {
+	idx := argsortDesc([]float64{1, 5, 3})
+	if idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
+		t.Errorf("argsortDesc = %v", idx)
+	}
+}

@@ -1,0 +1,164 @@
+// Package de implements the Differential Evolution baseline of Table IV
+// (rand/1/bin with F = 0.8 for both difference weights and CR = 0.8),
+// operating on the continuous vector view of the encoding.
+package de
+
+import (
+	"math"
+	"math/rand"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+)
+
+// Config holds DE's hyper-parameters (Table IV defaults when zero).
+type Config struct {
+	Population int     // default 100
+	F          float64 // differential weight, default 0.8
+	CR         float64 // crossover probability, default 0.8
+}
+
+func (c Config) withDefaults() Config {
+	if c.Population <= 0 {
+		c.Population = 100
+	}
+	if c.F <= 0 {
+		c.F = 0.8
+	}
+	if c.CR <= 0 {
+		c.CR = 0.8
+	}
+	return c
+}
+
+// Optimizer is the DE search state.
+type Optimizer struct {
+	cfg     Config
+	dim     int
+	nAccels int
+	rng     *rand.Rand
+	pop     [][]float64
+	fit     []float64
+	trials  [][]float64
+	phase   int // 0: evaluating initial population, 1: evaluating trials
+}
+
+// New builds a DE optimizer.
+func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
+
+// Name implements m3e.Optimizer.
+func (o *Optimizer) Name() string { return "DE" }
+
+// Init implements m3e.Optimizer.
+func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+	o.dim = 2 * p.NumJobs()
+	o.nAccels = p.NumAccels()
+	o.rng = rng
+	o.pop = make([][]float64, o.cfg.Population)
+	o.fit = make([]float64, o.cfg.Population)
+	for i := range o.pop {
+		o.pop[i] = randomVector(o.dim, rng)
+		o.fit[i] = math.Inf(-1)
+	}
+	o.phase = 0
+	return nil
+}
+
+// Ask implements m3e.Optimizer.
+func (o *Optimizer) Ask() []encoding.Genome {
+	if o.phase == 0 {
+		return o.toGenomes(o.pop)
+	}
+	o.trials = make([][]float64, len(o.pop))
+	for i := range o.pop {
+		o.trials[i] = o.trial(i)
+	}
+	return o.toGenomes(o.trials)
+}
+
+// Tell implements m3e.Optimizer.
+func (o *Optimizer) Tell(genomes []encoding.Genome, fitness []float64) {
+	if o.phase == 0 {
+		for i := range fitness {
+			o.fit[i] = fitness[i]
+		}
+		o.phase = 1
+		return
+	}
+	// Greedy one-to-one selection: the trial replaces its parent only if
+	// it is at least as fit.
+	for i := range fitness {
+		if i < len(o.trials) && fitness[i] >= o.fit[i] {
+			o.pop[i] = o.trials[i]
+			o.fit[i] = fitness[i]
+		}
+	}
+}
+
+// trial builds the rand/1/bin trial vector for parent i.
+func (o *Optimizer) trial(i int) []float64 {
+	n := len(o.pop)
+	a, b, c := o.distinct3(i, n)
+	t := make([]float64, o.dim)
+	jrand := o.rng.Intn(o.dim)
+	for d := 0; d < o.dim; d++ {
+		if o.rng.Float64() < o.cfg.CR || d == jrand {
+			t[d] = clamp01(o.pop[a][d] + o.cfg.F*(o.pop[b][d]-o.pop[c][d]))
+		} else {
+			t[d] = o.pop[i][d]
+		}
+	}
+	return t
+}
+
+func (o *Optimizer) distinct3(i, n int) (int, int, int) {
+	pick := func(excl ...int) int {
+	retry:
+		for {
+			x := o.rng.Intn(n)
+			for _, e := range excl {
+				if x == e {
+					continue retry
+				}
+			}
+			return x
+		}
+	}
+	a := pick(i)
+	b := pick(i, a)
+	c := pick(i, a, b)
+	return a, b, c
+}
+
+func (o *Optimizer) toGenomes(vs [][]float64) []encoding.Genome {
+	out := make([]encoding.Genome, len(vs))
+	for i, v := range vs {
+		g, err := encoding.FromVector(v, o.nAccels)
+		if err != nil { // cannot happen: vectors are even-length by construction
+			panic(err)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func randomVector(dim int, rng *rand.Rand) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x), x < 0:
+		return 0
+	case x >= 1:
+		return math.Nextafter(1, 0)
+	default:
+		return x
+	}
+}
+
+var _ m3e.Optimizer = (*Optimizer)(nil)

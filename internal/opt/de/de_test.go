@@ -1,0 +1,81 @@
+package de
+
+import (
+	"math/rand"
+	"testing"
+
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+func TestBattery(t *testing.T) {
+	opttest.Battery(t, func() m3e.Optimizer { return New(Config{Population: 24}) }, 400, 1.05)
+}
+
+func TestDefaultsFollowTableIV(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.F != 0.8 || cfg.CR != 0.8 {
+		t.Errorf("F/CR = %g/%g, want 0.8/0.8 per Table IV", cfg.F, cfg.CR)
+	}
+}
+
+func TestDistinct3(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{Population: 10})
+	if err := o.Init(prob, rand.New(rand.NewSource(7))); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		i := trial % 10
+		a, b, c := o.distinct3(i, 10)
+		if a == i || b == i || c == i || a == b || a == c || b == c {
+			t.Fatalf("distinct3(%d) = %d,%d,%d not distinct", i, a, b, c)
+		}
+	}
+}
+
+func TestTrialVectorsInBounds(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{Population: 12})
+	if err := o.Init(prob, rand.New(rand.NewSource(8))); err != nil {
+		t.Fatal(err)
+	}
+	// Prime phase 0 -> 1.
+	pop := o.Ask()
+	fit := make([]float64, len(pop))
+	o.Tell(pop, fit)
+	trials := o.Ask()
+	for i, g := range trials {
+		if err := g.Validate(16, 4); err != nil {
+			t.Fatalf("trial %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGreedySelectionKeepsBetterParent(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{Population: 8})
+	if err := o.Init(prob, rand.New(rand.NewSource(9))); err != nil {
+		t.Fatal(err)
+	}
+	pop := o.Ask()
+	fit := make([]float64, len(pop))
+	for i := range fit {
+		fit[i] = 100 // strong parents
+	}
+	o.Tell(pop, fit)
+	before := append([]float64(nil), o.pop[0]...)
+	trials := o.Ask()
+	worse := make([]float64, len(trials))
+	for i := range worse {
+		worse[i] = 1 // all trials worse
+	}
+	o.Tell(trials, worse)
+	for d := range before {
+		if o.pop[0][d] != before[d] {
+			t.Fatal("worse trial replaced its parent")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package ga implements the standard genetic algorithm baseline of
+// Table IV ("stdGA"): per-gene mutation at rate 0.1 and a single-pivot
+// crossover over the whole concatenated gene string at rate 0.1, with
+// elitist selection. Unlike MAGMA it is blind to the two-genome
+// structure of the encoding: the pivot may split job placements from
+// their priorities arbitrarily.
+package ga
+
+import (
+	"math/rand"
+	"sort"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+)
+
+// Config holds stdGA's hyper-parameters (Table IV defaults when zero).
+type Config struct {
+	Population    int     // default 100
+	EliteRatio    float64 // default 0.1
+	MutationRate  float64 // default 0.1
+	CrossoverRate float64 // default 0.1
+}
+
+func (c Config) withDefaults() Config {
+	if c.Population <= 0 {
+		c.Population = 100
+	}
+	if c.EliteRatio <= 0 {
+		c.EliteRatio = 0.1
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.1
+	}
+	if c.CrossoverRate <= 0 {
+		c.CrossoverRate = 0.1
+	}
+	return c
+}
+
+// Optimizer is the stdGA search state.
+type Optimizer struct {
+	cfg     Config
+	nJobs   int
+	nAccels int
+	rng     *rand.Rand
+	pop     []encoding.Genome
+}
+
+// New builds a stdGA optimizer.
+func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
+
+// Name implements m3e.Optimizer.
+func (o *Optimizer) Name() string { return "stdGA" }
+
+// Init implements m3e.Optimizer.
+func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+	o.nJobs, o.nAccels = p.NumJobs(), p.NumAccels()
+	o.rng = rng
+	o.pop = make([]encoding.Genome, o.cfg.Population)
+	for i := range o.pop {
+		o.pop[i] = encoding.Random(o.nJobs, o.nAccels, rng)
+	}
+	return nil
+}
+
+// Ask implements m3e.Optimizer.
+func (o *Optimizer) Ask() []encoding.Genome {
+	out := make([]encoding.Genome, len(o.pop))
+	for i, g := range o.pop {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+// Tell implements m3e.Optimizer.
+func (o *Optimizer) Tell(genomes []encoding.Genome, fitness []float64) {
+	idx := make([]int, len(genomes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return fitness[idx[a]] > fitness[idx[b]] })
+
+	nElite := int(float64(o.cfg.Population) * o.cfg.EliteRatio)
+	if nElite < 2 {
+		nElite = 2
+	}
+	if nElite > len(idx) {
+		nElite = len(idx)
+	}
+	elites := make([]encoding.Genome, nElite)
+	for i := 0; i < nElite; i++ {
+		elites[i] = genomes[idx[i]].Clone()
+	}
+	next := make([]encoding.Genome, 0, o.cfg.Population)
+	for _, e := range elites {
+		next = append(next, e.Clone())
+	}
+	for len(next) < o.cfg.Population {
+		child := elites[o.rng.Intn(nElite)].Clone()
+		if o.rng.Float64() < o.cfg.CrossoverRate {
+			mom := elites[o.rng.Intn(nElite)]
+			o.crossover(child, mom)
+		}
+		o.mutate(child)
+		next = append(next, child)
+	}
+	o.pop = next
+}
+
+// crossover performs a single-pivot exchange over the concatenated
+// [accel ++ prio] gene string — structure-oblivious by design.
+func (o *Optimizer) crossover(child, mom encoding.Genome) {
+	pivot := o.rng.Intn(2*o.nJobs + 1)
+	for i := pivot; i < 2*o.nJobs; i++ {
+		if i < o.nJobs {
+			child.Accel[i] = mom.Accel[i]
+		} else {
+			child.Prio[i-o.nJobs] = mom.Prio[i-o.nJobs]
+		}
+	}
+}
+
+func (o *Optimizer) mutate(g encoding.Genome) {
+	for i := range g.Accel {
+		if o.rng.Float64() < o.cfg.MutationRate {
+			g.Accel[i] = o.rng.Intn(o.nAccels)
+		}
+	}
+	for i := range g.Prio {
+		if o.rng.Float64() < o.cfg.MutationRate {
+			g.Prio[i] = o.rng.Float64()
+		}
+	}
+}
+
+var _ m3e.Optimizer = (*Optimizer)(nil)

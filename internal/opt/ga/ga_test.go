@@ -1,0 +1,78 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+func TestBattery(t *testing.T) {
+	opttest.Battery(t, func() m3e.Optimizer { return New(Config{Population: 24}) }, 400, 1.05)
+}
+
+func TestDefaultsFollowTableIV(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MutationRate != 0.1 || cfg.CrossoverRate != 0.1 {
+		t.Errorf("rates = %+v, want 0.1/0.1 per Table IV", cfg)
+	}
+}
+
+func TestCrossoverSinglePivot(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 20, platform.S2())
+	o := New(Config{Population: 8})
+	if err := o.Init(prob, rand.New(rand.NewSource(9))); err != nil {
+		t.Fatal(err)
+	}
+	dad := encoding.Genome{Accel: make([]int, 20), Prio: make([]float64, 20)}
+	mom := encoding.Genome{Accel: make([]int, 20), Prio: make([]float64, 20)}
+	for j := 0; j < 20; j++ {
+		dad.Accel[j], mom.Accel[j] = 0, 1
+		dad.Prio[j], mom.Prio[j] = 0.25, 0.75
+	}
+	for trial := 0; trial < 50; trial++ {
+		child := dad.Clone()
+		o.crossover(child, mom)
+		// The concatenated string must be dad-prefix then mom-suffix.
+		flat := make([]int, 0, 40)
+		for _, a := range child.Accel {
+			flat = append(flat, a)
+		}
+		for _, p := range child.Prio {
+			if p == 0.25 {
+				flat = append(flat, 0)
+			} else {
+				flat = append(flat, 1)
+			}
+		}
+		switched := false
+		for i, v := range flat {
+			if v == 1 && !switched {
+				switched = true
+			}
+			if switched && v == 0 {
+				t.Fatalf("trial %d: dad gene at %d after mom prefix started", trial, i)
+			}
+		}
+	}
+}
+
+func TestMutationBounds(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 15, platform.S2())
+	o := New(Config{Population: 8, MutationRate: 0.9})
+	if err := o.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		g := encoding.Random(15, 4, r)
+		o.mutate(g)
+		if err := g.Validate(15, 4); err != nil {
+			t.Fatalf("mutated genome invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package magma implements MAGMA, the Multi-Accelerator Genetic Mapping
+// Algorithm (§V): a GA whose genetic operators are specialized to the
+// structure of the multi-tenant mapping encoding.
+//
+// MAGMA inherits standard per-gene mutation and adds three crossover
+// operators (Fig. 5):
+//
+//   - crossover-gen: genome-wise crossover. One genome type (accel
+//     selection or job priority) is chosen, a pivot is sampled, and the
+//     parents exchange that genome's tail. Perturbs one aspect of the
+//     schedule while respecting the other (the dominant operator,
+//     rate 0.9).
+//   - crossover-rg: range crossover. A gene range is swapped across
+//     *both* genomes simultaneously, preserving the cross-genome
+//     dependency of each job's (placement, priority) pair (rate 0.05).
+//   - crossover-accel: accelerator crossover. One sub-accelerator is
+//     selected and Mom's entire job set for that core — placements and
+//     priorities — is transplanted into the child; the child's previous
+//     occupants of that core are randomly re-assigned for load balancing
+//     (rate 0.05).
+//
+// The package also houses the warm-start engine of §V-C.
+package magma
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+)
+
+// Config holds MAGMA's hyper-parameters (§V-B2, §V-B3). Zero values are
+// replaced by the paper's defaults.
+type Config struct {
+	Population         int     // individuals per generation (default: group size)
+	EliteRatio         float64 // survivors used as parents (default 0.1)
+	MutationRate       float64 // per-gene mutation probability (default 0.05)
+	CrossoverGenRate   float64 // genome-wise crossover rate (default 0.9)
+	CrossoverRGRate    float64 // range crossover rate (default 0.05)
+	CrossoverAccelRate float64 // accelerator crossover rate (default 0.05)
+
+	// Ablation switches (Fig. 16). Mutation is the base operator and is
+	// always on.
+	DisableCrossoverGen   bool
+	DisableCrossoverRG    bool
+	DisableCrossoverAccel bool
+}
+
+func (c Config) withDefaults(groupSize int) Config {
+	if c.Population <= 0 {
+		c.Population = groupSize
+	}
+	if c.Population < 4 {
+		c.Population = 4
+	}
+	if c.EliteRatio <= 0 {
+		c.EliteRatio = 0.1
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.05
+	}
+	if c.CrossoverGenRate <= 0 {
+		c.CrossoverGenRate = 0.9
+	}
+	if c.CrossoverRGRate <= 0 {
+		c.CrossoverRGRate = 0.05
+	}
+	if c.CrossoverAccelRate <= 0 {
+		c.CrossoverAccelRate = 0.05
+	}
+	return c
+}
+
+// Optimizer is the MAGMA search state. It implements m3e.Optimizer and
+// m3e.Seeder.
+type Optimizer struct {
+	cfg     Config
+	nJobs   int
+	nAccels int
+	rng     *rand.Rand
+	pop     []encoding.Genome
+	seeds   []encoding.Genome
+	inited  bool
+}
+
+// New builds a MAGMA optimizer with the given configuration.
+func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg} }
+
+// Name implements m3e.Optimizer.
+func (o *Optimizer) Name() string { return "MAGMA" }
+
+// Seed implements m3e.Seeder: the genomes are injected into the initial
+// population (warm start, §V-C).
+func (o *Optimizer) Seed(genomes []encoding.Genome) {
+	for _, g := range genomes {
+		o.seeds = append(o.seeds, g.Clone())
+	}
+}
+
+// Init implements m3e.Optimizer.
+func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+	o.nJobs, o.nAccels = p.NumJobs(), p.NumAccels()
+	o.cfg = o.cfg.withDefaults(o.nJobs)
+	o.rng = rng
+	o.pop = make([]encoding.Genome, o.cfg.Population)
+	for i := range o.pop {
+		if i < len(o.seeds) && len(o.seeds[i].Accel) == o.nJobs {
+			g := o.seeds[i].Clone()
+			if err := g.Validate(o.nJobs, o.nAccels); err != nil {
+				return fmt.Errorf("magma: warm-start seed %d: %w", i, err)
+			}
+			o.pop[i] = g
+			continue
+		}
+		o.pop[i] = encoding.Random(o.nJobs, o.nAccels, rng)
+	}
+	o.inited = true
+	return nil
+}
+
+// Ask implements m3e.Optimizer: it returns the current generation.
+func (o *Optimizer) Ask() []encoding.Genome {
+	out := make([]encoding.Genome, len(o.pop))
+	for i, g := range o.pop {
+		out[i] = g.Clone()
+	}
+	return out
+}
+
+// Tell implements m3e.Optimizer: it selects elites and breeds the next
+// generation with the MAGMA operators.
+func (o *Optimizer) Tell(genomes []encoding.Genome, fitness []float64) {
+	type scored struct {
+		g encoding.Genome
+		f float64
+	}
+	ranked := make([]scored, len(genomes))
+	for i := range genomes {
+		ranked[i] = scored{genomes[i], fitness[i]}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].f > ranked[j].f })
+
+	nElite := int(float64(o.cfg.Population) * o.cfg.EliteRatio)
+	if nElite < 2 {
+		nElite = 2
+	}
+	if nElite > len(ranked) {
+		nElite = len(ranked)
+	}
+	elites := make([]encoding.Genome, nElite)
+	for i := 0; i < nElite; i++ {
+		elites[i] = ranked[i].g.Clone()
+	}
+
+	next := make([]encoding.Genome, 0, o.cfg.Population)
+	for _, e := range elites {
+		next = append(next, e.Clone())
+	}
+	for len(next) < o.cfg.Population {
+		dad := elites[o.rng.Intn(nElite)]
+		mom := elites[o.rng.Intn(nElite)]
+		child := o.breed(dad, mom)
+		next = append(next, child)
+	}
+	o.pop = next
+}
+
+// breed produces one child from two parents through the operator
+// pipeline of Fig. 6: the crossovers each fire at their own rate, then
+// mutation always applies.
+func (o *Optimizer) breed(dad, mom encoding.Genome) encoding.Genome {
+	child := dad.Clone()
+	if !o.cfg.DisableCrossoverGen && o.rng.Float64() < o.cfg.CrossoverGenRate {
+		o.crossoverGen(child, mom)
+	}
+	if !o.cfg.DisableCrossoverRG && o.rng.Float64() < o.cfg.CrossoverRGRate {
+		o.crossoverRG(child, mom)
+	}
+	if !o.cfg.DisableCrossoverAccel && o.rng.Float64() < o.cfg.CrossoverAccelRate {
+		o.crossoverAccel(child, mom)
+	}
+	o.mutate(child)
+	return child
+}
+
+// mutate re-rolls each gene independently with probability MutationRate.
+func (o *Optimizer) mutate(g encoding.Genome) {
+	for i := range g.Accel {
+		if o.rng.Float64() < o.cfg.MutationRate {
+			g.Accel[i] = o.rng.Intn(o.nAccels)
+		}
+	}
+	for i := range g.Prio {
+		if o.rng.Float64() < o.cfg.MutationRate {
+			g.Prio[i] = o.rng.Float64()
+		}
+	}
+}
+
+// crossoverGen exchanges one genome's tail after a random pivot,
+// leaving the other genome untouched (Fig. 5c).
+func (o *Optimizer) crossoverGen(child, mom encoding.Genome) {
+	pivot := o.rng.Intn(o.nJobs + 1)
+	if o.rng.Intn(2) == 0 {
+		copy(child.Accel[pivot:], mom.Accel[pivot:])
+	} else {
+		copy(child.Prio[pivot:], mom.Prio[pivot:])
+	}
+}
+
+// crossoverRG swaps a random range across both genomes simultaneously,
+// preserving each job's (placement, priority) pairing (Fig. 5d).
+func (o *Optimizer) crossoverRG(child, mom encoding.Genome) {
+	lo := o.rng.Intn(o.nJobs)
+	hi := lo + 1 + o.rng.Intn(o.nJobs-lo)
+	copy(child.Accel[lo:hi], mom.Accel[lo:hi])
+	copy(child.Prio[lo:hi], mom.Prio[lo:hi])
+}
+
+// crossoverAccel transplants Mom's entire job set for one random core
+// into the child (Fig. 5e). Jobs the child previously placed on that
+// core — and that Mom does not — are randomly re-assigned to keep the
+// load balanced.
+func (o *Optimizer) crossoverAccel(child, mom encoding.Genome) {
+	a := o.rng.Intn(o.nAccels)
+	fromMom := make([]bool, o.nJobs)
+	for j := 0; j < o.nJobs; j++ {
+		if mom.Accel[j] == a {
+			fromMom[j] = true
+			child.Accel[j] = a
+			child.Prio[j] = mom.Prio[j]
+		}
+	}
+	for j := 0; j < o.nJobs; j++ {
+		if child.Accel[j] == a && !fromMom[j] {
+			child.Accel[j] = o.rng.Intn(o.nAccels)
+			child.Prio[j] = o.rng.Float64()
+		}
+	}
+}
+
+var (
+	_ m3e.Optimizer = (*Optimizer)(nil)
+	_ m3e.Seeder    = (*Optimizer)(nil)
+)

@@ -1,0 +1,284 @@
+package magma
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+func TestBattery(t *testing.T) {
+	opttest.Battery(t, func() m3e.Optimizer { return New(Config{Population: 24}) }, 400, 1.1)
+}
+
+func newInited(t *testing.T, cfg Config, nJobs int) *Optimizer {
+	t.Helper()
+	prob := opttest.Problem(t, models.Mix, nJobs, platform.S2())
+	o := New(cfg)
+	if err := o.Init(prob, rand.New(rand.NewSource(5))); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	return o
+}
+
+func TestDefaultsFollowPaper(t *testing.T) {
+	cfg := Config{}.withDefaults(100)
+	if cfg.Population != 100 {
+		t.Errorf("population = %d, want group size 100", cfg.Population)
+	}
+	if cfg.MutationRate != 0.05 || cfg.CrossoverGenRate != 0.9 ||
+		cfg.CrossoverRGRate != 0.05 || cfg.CrossoverAccelRate != 0.05 {
+		t.Errorf("operator rates diverge from §V-B2: %+v", cfg)
+	}
+}
+
+func TestAskReturnsValidPopulation(t *testing.T) {
+	o := newInited(t, Config{}, 20)
+	pop := o.Ask()
+	if len(pop) != 20 {
+		t.Fatalf("population = %d, want group size 20", len(pop))
+	}
+	for i, g := range pop {
+		if err := g.Validate(20, 4); err != nil {
+			t.Errorf("individual %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestTellEvolvesElites(t *testing.T) {
+	o := newInited(t, Config{Population: 10}, 20)
+	pop := o.Ask()
+	fit := make([]float64, len(pop))
+	for i := range fit {
+		fit[i] = float64(i) // individual 9 is best
+	}
+	best := pop[9].Clone()
+	o.Tell(pop, fit)
+	next := o.Ask()
+	// The elite must survive verbatim.
+	found := false
+	for _, g := range next {
+		same := true
+		for j := range g.Accel {
+			if g.Accel[j] != best.Accel[j] || g.Prio[j] != best.Prio[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("best individual did not survive as elite")
+	}
+}
+
+func operatorHarness(t *testing.T, nJobs int) (*Optimizer, encoding.Genome, encoding.Genome) {
+	t.Helper()
+	o := newInited(t, Config{}, nJobs)
+	r := rand.New(rand.NewSource(11))
+	return o, encoding.Random(nJobs, o.nAccels, r), encoding.Random(nJobs, o.nAccels, r)
+}
+
+func TestCrossoverGenTouchesOneGenome(t *testing.T) {
+	o, dad, mom := operatorHarness(t, 30)
+	for trial := 0; trial < 50; trial++ {
+		child := dad.Clone()
+		o.crossoverGen(child, mom)
+		accelChanged, prioChanged := false, false
+		for j := 0; j < 30; j++ {
+			if child.Accel[j] != dad.Accel[j] {
+				accelChanged = true
+				if child.Accel[j] != mom.Accel[j] {
+					t.Fatal("accel gene from neither parent")
+				}
+			}
+			if child.Prio[j] != dad.Prio[j] {
+				prioChanged = true
+				if child.Prio[j] != mom.Prio[j] {
+					t.Fatal("prio gene from neither parent")
+				}
+			}
+		}
+		if accelChanged && prioChanged {
+			t.Fatal("crossover-gen modified both genomes in one application")
+		}
+	}
+}
+
+func TestCrossoverRGPreservesPairs(t *testing.T) {
+	o, dad, mom := operatorHarness(t, 30)
+	for trial := 0; trial < 50; trial++ {
+		child := dad.Clone()
+		o.crossoverRG(child, mom)
+		for j := 0; j < 30; j++ {
+			fromDad := child.Accel[j] == dad.Accel[j] && child.Prio[j] == dad.Prio[j]
+			fromMom := child.Accel[j] == mom.Accel[j] && child.Prio[j] == mom.Prio[j]
+			if !fromDad && !fromMom {
+				t.Fatalf("job %d (accel,prio) pair split across parents", j)
+			}
+		}
+	}
+}
+
+func TestCrossoverRGSwapsContiguousRange(t *testing.T) {
+	o, dad, mom := operatorHarness(t, 30)
+	// Make parents fully distinguishable.
+	for j := range dad.Accel {
+		dad.Accel[j], mom.Accel[j] = 0, 1
+		dad.Prio[j], mom.Prio[j] = 0.25, 0.75
+	}
+	for trial := 0; trial < 50; trial++ {
+		child := dad.Clone()
+		o.crossoverRG(child, mom)
+		// Mom-genes must form one contiguous range.
+		first, last := -1, -1
+		for j := 0; j < 30; j++ {
+			if child.Accel[j] == 1 {
+				if first == -1 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if first == -1 {
+			t.Fatal("crossover-rg swapped nothing")
+		}
+		for j := first; j <= last; j++ {
+			if child.Accel[j] != 1 {
+				t.Fatalf("mom range not contiguous at %d", j)
+			}
+		}
+	}
+}
+
+func TestCrossoverAccelTransplantsCore(t *testing.T) {
+	o, dad, mom := operatorHarness(t, 40)
+	for trial := 0; trial < 80; trial++ {
+		child := dad.Clone()
+		o.crossoverAccel(child, mom)
+		// Find which core was transplanted: every mom-job of that core
+		// must appear in the child with mom's priority.
+		for a := 0; a < o.nAccels; a++ {
+			allMatch := true
+			count := 0
+			for j := 0; j < 40; j++ {
+				if mom.Accel[j] == a {
+					count++
+					if child.Accel[j] != a || child.Prio[j] != mom.Prio[j] {
+						allMatch = false
+					}
+				}
+			}
+			if allMatch && count > 0 {
+				return // found a fully transplanted core
+			}
+		}
+	}
+	t.Error("no trial produced a complete core transplant")
+}
+
+func TestMutationRespectsBounds(t *testing.T) {
+	o := newInited(t, Config{MutationRate: 0.8}, 25)
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		g := encoding.Random(25, o.nAccels, r)
+		o.mutate(g)
+		if err := g.Validate(25, o.nAccels); err != nil {
+			t.Fatalf("mutated genome invalid: %v", err)
+		}
+	}
+}
+
+func TestAblationConfig(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 20, platform.S2())
+	o := New(Config{Population: 10, DisableCrossoverGen: true, DisableCrossoverRG: true, DisableCrossoverAccel: true})
+	res, err := m3e.Run(prob, o, m3e.Options{Budget: 100}, 2)
+	if err != nil {
+		t.Fatalf("mutation-only MAGMA failed: %v", err)
+	}
+	if res.Samples != 100 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+}
+
+func TestWarmStartSeeding(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 20, platform.S2())
+	// Solve once, record the solution, re-init seeded and check the seed
+	// is present in the first Ask.
+	res, err := m3e.Run(prob, New(Config{Population: 10}), m3e.Options{Budget: 200}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(Config{Population: 10})
+	o.Seed([]encoding.Genome{res.Best})
+	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	first := o.Ask()[0]
+	for j := range first.Accel {
+		if first.Accel[j] != res.Best.Accel[j] || first.Prio[j] != res.Best.Prio[j] {
+			t.Fatal("seed not injected as first individual")
+		}
+	}
+}
+
+func TestWarmStartInvalidSeedRejected(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 20, platform.S2())
+	o := New(Config{Population: 10})
+	bad := encoding.Genome{Accel: make([]int, 20), Prio: make([]float64, 20)}
+	bad.Accel[0] = 99
+	o.Seed([]encoding.Genome{bad})
+	if err := o.Init(prob, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid warm-start seed accepted")
+	}
+}
+
+func TestWarmStore(t *testing.T) {
+	ws := NewWarmStore(2)
+	r := rand.New(rand.NewSource(3))
+	if ws.Known(models.Vision) {
+		t.Error("empty store claims knowledge")
+	}
+	g1 := encoding.Random(10, 4, r)
+	g2 := encoding.Random(10, 4, r)
+	g3 := encoding.Random(12, 4, r)
+	ws.Record(models.Vision, g1)
+	ws.Record(models.Vision, g2)
+	ws.Record(models.Vision, g3)
+	if !ws.Known(models.Vision) || ws.Known(models.Language) {
+		t.Error("Known() wrong")
+	}
+	// Limit 2: g1 evicted; only g3 matches size 12.
+	if got := ws.SeedsFor(models.Vision, 12); len(got) != 1 {
+		t.Errorf("seeds for size 12 = %d, want 1", len(got))
+	}
+	if got := ws.SeedsFor(models.Vision, 10); len(got) != 1 {
+		t.Errorf("seeds for size 10 = %d, want 1 (g1 evicted)", len(got))
+	}
+	if got := ws.SeedsFor(models.Language, 10); len(got) != 0 {
+		t.Errorf("seeds for unseen task = %d, want 0", len(got))
+	}
+}
+
+// Property: breed always yields a structurally valid genome.
+func TestQuickBreedValidity(t *testing.T) {
+	o := newInited(t, Config{}, 30)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dad := encoding.Random(30, o.nAccels, r)
+		mom := encoding.Random(30, o.nAccels, r)
+		child := o.breed(dad, mom)
+		return child.Validate(30, o.nAccels) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package pso implements the Particle Swarm Optimization baseline of
+// Table IV: global-best weight 0.8, parent(personal)-best weight 0.8,
+// momentum ω = 1.6. A momentum above 1 diverges without a velocity
+// limit, so velocities are clamped to ±VMax per dimension (a standard
+// PSO guard) and positions reflect off the [0,1) box.
+package pso
+
+import (
+	"math"
+	"math/rand"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+)
+
+// Config holds PSO's hyper-parameters (Table IV defaults when zero).
+type Config struct {
+	Particles int     // default 100
+	Momentum  float64 // ω, default 1.6
+	CPersonal float64 // parent-best weight, default 0.8
+	CGlobal   float64 // global-best weight, default 0.8
+	VMax      float64 // per-dimension velocity clamp, default 0.2
+}
+
+func (c Config) withDefaults() Config {
+	if c.Particles <= 0 {
+		c.Particles = 100
+	}
+	if c.Momentum <= 0 {
+		c.Momentum = 1.6
+	}
+	if c.CPersonal <= 0 {
+		c.CPersonal = 0.8
+	}
+	if c.CGlobal <= 0 {
+		c.CGlobal = 0.8
+	}
+	if c.VMax <= 0 {
+		c.VMax = 0.2
+	}
+	return c
+}
+
+// Optimizer is the PSO search state.
+type Optimizer struct {
+	cfg     Config
+	dim     int
+	nAccels int
+	rng     *rand.Rand
+
+	pos, vel [][]float64
+	pbest    [][]float64
+	pbestFit []float64
+	gbest    []float64
+	gbestFit float64
+}
+
+// New builds a PSO optimizer.
+func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
+
+// Name implements m3e.Optimizer.
+func (o *Optimizer) Name() string { return "PSO" }
+
+// Init implements m3e.Optimizer.
+func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+	o.dim = 2 * p.NumJobs()
+	o.nAccels = p.NumAccels()
+	o.rng = rng
+	n := o.cfg.Particles
+	o.pos = make([][]float64, n)
+	o.vel = make([][]float64, n)
+	o.pbest = make([][]float64, n)
+	o.pbestFit = make([]float64, n)
+	for i := 0; i < n; i++ {
+		o.pos[i] = make([]float64, o.dim)
+		o.vel[i] = make([]float64, o.dim)
+		for d := 0; d < o.dim; d++ {
+			o.pos[i][d] = rng.Float64()
+			o.vel[i][d] = (rng.Float64()*2 - 1) * o.cfg.VMax
+		}
+		o.pbest[i] = append([]float64(nil), o.pos[i]...)
+		o.pbestFit[i] = math.Inf(-1)
+	}
+	o.gbest = append([]float64(nil), o.pos[0]...)
+	o.gbestFit = math.Inf(-1)
+	return nil
+}
+
+// Ask implements m3e.Optimizer.
+func (o *Optimizer) Ask() []encoding.Genome {
+	out := make([]encoding.Genome, len(o.pos))
+	for i, v := range o.pos {
+		g, err := encoding.FromVector(v, o.nAccels)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// Tell implements m3e.Optimizer.
+func (o *Optimizer) Tell(_ []encoding.Genome, fitness []float64) {
+	for i := range fitness {
+		if fitness[i] > o.pbestFit[i] {
+			o.pbestFit[i] = fitness[i]
+			copy(o.pbest[i], o.pos[i])
+		}
+		if fitness[i] > o.gbestFit {
+			o.gbestFit = fitness[i]
+			copy(o.gbest, o.pos[i])
+		}
+	}
+	for i := range o.pos {
+		for d := 0; d < o.dim; d++ {
+			v := o.cfg.Momentum*o.vel[i][d] +
+				o.cfg.CPersonal*o.rng.Float64()*(o.pbest[i][d]-o.pos[i][d]) +
+				o.cfg.CGlobal*o.rng.Float64()*(o.gbest[d]-o.pos[i][d])
+			if v > o.cfg.VMax {
+				v = o.cfg.VMax
+			} else if v < -o.cfg.VMax {
+				v = -o.cfg.VMax
+			}
+			o.vel[i][d] = v
+			x := o.pos[i][d] + v
+			// Reflect off the box walls to stay inside [0,1).
+			if x < 0 {
+				x = -x
+				o.vel[i][d] = -o.vel[i][d]
+			}
+			if x >= 1 {
+				x = 2 - x
+				o.vel[i][d] = -o.vel[i][d]
+				if x < 0 { // extreme overshoot
+					x = o.rng.Float64()
+				}
+			}
+			o.pos[i][d] = x
+		}
+	}
+}
+
+var _ m3e.Optimizer = (*Optimizer)(nil)

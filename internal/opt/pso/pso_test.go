@@ -1,0 +1,72 @@
+package pso
+
+import (
+	"math/rand"
+	"testing"
+
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+func TestBattery(t *testing.T) {
+	opttest.Battery(t, func() m3e.Optimizer { return New(Config{Particles: 24}) }, 400, 1.0)
+}
+
+func TestDefaultsFollowTableIV(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Momentum != 1.6 || cfg.CPersonal != 0.8 || cfg.CGlobal != 0.8 {
+		t.Errorf("PSO params = %+v, want ω=1.6, c=0.8/0.8 per Table IV", cfg)
+	}
+}
+
+func TestPositionsStayInBox(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{Particles: 10})
+	if err := o.Init(prob, rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	for gen := 0; gen < 30; gen++ {
+		gs := o.Ask()
+		fit := make([]float64, len(gs))
+		for i := range fit {
+			fit[i] = r.Float64() * 100
+		}
+		o.Tell(gs, fit)
+		for i, p := range o.pos {
+			for d, x := range p {
+				if x < 0 || x >= 1 {
+					t.Fatalf("gen %d particle %d dim %d escaped box: %g", gen, i, d, x)
+				}
+			}
+			for _, v := range o.vel[i] {
+				if v > o.cfg.VMax+1e-12 || v < -o.cfg.VMax-1e-12 {
+					t.Fatalf("velocity %g beyond clamp", v)
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalBestTracked(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{Particles: 6})
+	if err := o.Init(prob, rand.New(rand.NewSource(7))); err != nil {
+		t.Fatal(err)
+	}
+	gs := o.Ask()
+	fit := make([]float64, len(gs))
+	fit[3] = 42
+	want := append([]float64(nil), o.pos[3]...)
+	o.Tell(gs, fit)
+	if o.gbestFit != 42 {
+		t.Errorf("gbestFit = %g, want 42", o.gbestFit)
+	}
+	for d := range want {
+		if o.gbest[d] != want[d] {
+			t.Fatal("gbest position not copied from winning particle")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package random implements uniform random search. It is both a sanity
+// baseline and the "exhaustively sampled" best-effort reference of
+// Fig. 10, which the paper produced by random-sampling for two days.
+package random
+
+import (
+	"math/rand"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+)
+
+// Optimizer draws independent uniform individuals forever.
+type Optimizer struct {
+	batch   int
+	nJobs   int
+	nAccels int
+	rng     *rand.Rand
+}
+
+// New builds a random-search optimizer emitting batches of the given
+// size (default 64).
+func New(batch int) *Optimizer {
+	if batch <= 0 {
+		batch = 64
+	}
+	return &Optimizer{batch: batch}
+}
+
+// Name implements m3e.Optimizer.
+func (o *Optimizer) Name() string { return "Random" }
+
+// Init implements m3e.Optimizer.
+func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+	o.nJobs, o.nAccels = p.NumJobs(), p.NumAccels()
+	o.rng = rng
+	return nil
+}
+
+// Ask implements m3e.Optimizer.
+func (o *Optimizer) Ask() []encoding.Genome {
+	out := make([]encoding.Genome, o.batch)
+	for i := range out {
+		out[i] = encoding.Random(o.nJobs, o.nAccels, o.rng)
+	}
+	return out
+}
+
+// Tell implements m3e.Optimizer (random search learns nothing).
+func (o *Optimizer) Tell([]encoding.Genome, []float64) {}
+
+var _ m3e.Optimizer = (*Optimizer)(nil)

@@ -1,0 +1,53 @@
+package random
+
+import (
+	"math/rand"
+	"testing"
+
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+func TestBattery(t *testing.T) {
+	opttest.Battery(t, func() m3e.Optimizer { return New(32) }, 400, 1.0)
+}
+
+func TestBatchSize(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(17)
+	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Ask()); got != 17 {
+		t.Errorf("batch = %d, want 17", got)
+	}
+	d := New(0)
+	if err := d.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Ask()); got != 64 {
+		t.Errorf("default batch = %d, want 64", got)
+	}
+}
+
+func TestSamplesVary(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(8)
+	if err := o.Init(prob, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	a := o.Ask()
+	b := o.Ask()
+	same := true
+	for j := range a[0].Accel {
+		if a[0].Accel[j] != b[0].Accel[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("consecutive random batches identical")
+	}
+}

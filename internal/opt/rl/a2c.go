@@ -1,0 +1,132 @@
+package rl
+
+import (
+	"math/rand"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/nn"
+)
+
+// A2CConfig holds the A2C hyper-parameters (Table IV defaults when zero).
+type A2CConfig struct {
+	LR          float64 // RMSProp learning rate, default 7e-4
+	Gamma       float64 // discount factor, default 0.99
+	Hidden      int     // MLP width, default 128
+	EntropyBeta float64 // entropy-bonus strength, default 0.01
+	ValueCoef   float64 // critic-loss weight, default 0.5
+	EpisodesPer int     // episodes per update batch, default 5
+	GradClip    float64 // global-norm clip, default 0.5
+}
+
+func (c A2CConfig) withDefaults() A2CConfig {
+	if c.LR <= 0 {
+		c.LR = 7e-4
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.99
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 128
+	}
+	if c.EntropyBeta <= 0 {
+		c.EntropyBeta = 0.01
+	}
+	if c.ValueCoef <= 0 {
+		c.ValueCoef = 0.5
+	}
+	if c.EpisodesPer <= 0 {
+		c.EpisodesPer = 5
+	}
+	if c.GradClip <= 0 {
+		c.GradClip = 0.5
+	}
+	return c
+}
+
+// A2C is the Advantage Actor-Critic mapper.
+type A2C struct {
+	cfg    A2CConfig
+	core   core
+	popt   *nn.RMSProp
+	vopt   *nn.RMSProp
+	traces [][]step
+}
+
+// NewA2C builds an A2C optimizer.
+func NewA2C(cfg A2CConfig) *A2C { return &A2C{cfg: cfg.withDefaults()} }
+
+// Name implements m3e.Optimizer.
+func (o *A2C) Name() string { return "RL A2C" }
+
+// Init implements m3e.Optimizer.
+func (o *A2C) Init(p *m3e.Problem, rng *rand.Rand) error {
+	if err := o.core.init(p, rng, o.cfg.Hidden); err != nil {
+		return err
+	}
+	o.popt = nn.NewRMSProp(o.cfg.LR)
+	o.vopt = nn.NewRMSProp(o.cfg.LR)
+	return nil
+}
+
+// Ask implements m3e.Optimizer: it samples a batch of episodes.
+func (o *A2C) Ask() []encoding.Genome {
+	o.traces = o.traces[:0]
+	out := make([]encoding.Genome, o.cfg.EpisodesPer)
+	for i := range out {
+		g, trace := o.core.episode()
+		out[i] = g
+		o.traces = append(o.traces, trace)
+	}
+	return out
+}
+
+// Tell implements m3e.Optimizer: one actor-critic update over the batch.
+func (o *A2C) Tell(_ []encoding.Genome, fitness []float64) {
+	o.core.policy.ZeroGrad()
+	o.core.critic.ZeroGrad()
+	var steps float64
+	for ei := range fitness {
+		if ei >= len(o.traces) {
+			break
+		}
+		trace := o.traces[ei]
+		term := o.core.normalizeReward(fitness[ei])
+		rets := returns(len(trace), o.cfg.Gamma, term)
+		for t, s := range trace {
+			adv := rets[t] - s.value
+			// Policy gradient through the fresh forward pass (the
+			// sampled distribution is re-derived so backprop has a tape).
+			pt, err := o.core.policy.Forward(s.obs)
+			if err != nil {
+				panic(err)
+			}
+			probs := nn.Softmax(pt.Out)
+			dLogits := nn.SoftmaxBackward(probs, s.action, adv)
+			ent := nn.EntropyBackward(probs, o.cfg.EntropyBeta)
+			for i := range dLogits {
+				dLogits[i] += ent[i]
+			}
+			o.core.policy.Backward(pt, dLogits)
+
+			vt, err := o.core.critic.Forward(s.obs)
+			if err != nil {
+				panic(err)
+			}
+			vErr := vt.Out[0] - rets[t]
+			o.core.critic.Backward(vt, []float64{2 * o.cfg.ValueCoef * vErr})
+			steps++
+		}
+	}
+	if steps == 0 {
+		return
+	}
+	o.core.policy.ScaleGrad(1 / steps)
+	o.core.critic.ScaleGrad(1 / steps)
+	o.core.policy.ClipGrad(o.cfg.GradClip)
+	o.core.critic.ClipGrad(o.cfg.GradClip)
+	o.popt.Step(o.core.policy)
+	o.vopt.Step(o.core.critic)
+}
+
+var _ m3e.Optimizer = (*A2C)(nil)

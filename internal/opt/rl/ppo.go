@@ -1,0 +1,202 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/nn"
+)
+
+// PPOConfig holds the PPO2 hyper-parameters (Table IV defaults when zero).
+type PPOConfig struct {
+	LR          float64 // Adam learning rate, default 2.5e-4
+	Gamma       float64 // discount factor, default 0.99
+	Clip        float64 // ratio clipping range, default 0.2
+	Hidden      int     // MLP width, default 128
+	EntropyBeta float64 // entropy-bonus strength, default 0.01
+	ValueCoef   float64 // critic-loss weight, default 0.5
+	EpisodesPer int     // episodes per rollout buffer, default 5
+	Epochs      int     // optimization epochs per buffer, default 4
+	GradClip    float64 // global-norm clip, default 0.5
+}
+
+func (c PPOConfig) withDefaults() PPOConfig {
+	if c.LR <= 0 {
+		c.LR = 2.5e-4
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.99
+	}
+	if c.Clip <= 0 {
+		c.Clip = 0.2
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 128
+	}
+	if c.EntropyBeta <= 0 {
+		c.EntropyBeta = 0.01
+	}
+	if c.ValueCoef <= 0 {
+		c.ValueCoef = 0.5
+	}
+	if c.EpisodesPer <= 0 {
+		c.EpisodesPer = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 4
+	}
+	if c.GradClip <= 0 {
+		c.GradClip = 0.5
+	}
+	return c
+}
+
+// PPO is the PPO2 mapper (clipped surrogate objective).
+type PPO struct {
+	cfg    PPOConfig
+	core   core
+	popt   *nn.Adam
+	vopt   *nn.Adam
+	traces [][]step
+}
+
+// NewPPO builds a PPO2 optimizer.
+func NewPPO(cfg PPOConfig) *PPO { return &PPO{cfg: cfg.withDefaults()} }
+
+// Name implements m3e.Optimizer.
+func (o *PPO) Name() string { return "RL PPO2" }
+
+// Init implements m3e.Optimizer.
+func (o *PPO) Init(p *m3e.Problem, rng *rand.Rand) error {
+	if err := o.core.init(p, rng, o.cfg.Hidden); err != nil {
+		return err
+	}
+	o.popt = nn.NewAdam(o.cfg.LR)
+	o.vopt = nn.NewAdam(o.cfg.LR)
+	return nil
+}
+
+// Ask implements m3e.Optimizer.
+func (o *PPO) Ask() []encoding.Genome {
+	o.traces = o.traces[:0]
+	out := make([]encoding.Genome, o.cfg.EpisodesPer)
+	for i := range out {
+		g, trace := o.core.episode()
+		out[i] = g
+		o.traces = append(o.traces, trace)
+	}
+	return out
+}
+
+// Tell implements m3e.Optimizer: several epochs of the clipped
+// surrogate update over the rollout buffer.
+func (o *PPO) Tell(_ []encoding.Genome, fitness []float64) {
+	type sample struct {
+		obs     []float64
+		action  int
+		oldLogP float64
+		ret     float64
+		adv     float64
+	}
+	var buf []sample
+	for ei := range fitness {
+		if ei >= len(o.traces) {
+			break
+		}
+		trace := o.traces[ei]
+		term := o.core.normalizeReward(fitness[ei])
+		rets := returns(len(trace), o.cfg.Gamma, term)
+		for t, s := range trace {
+			buf = append(buf, sample{
+				obs:     s.obs,
+				action:  s.action,
+				oldLogP: nn.LogProb(s.probs, s.action),
+				ret:     rets[t],
+				adv:     rets[t] - s.value,
+			})
+		}
+	}
+	if len(buf) == 0 {
+		return
+	}
+	// Advantage standardization (stable-baselines PPO2 behaviour).
+	advs := make([]float64, len(buf))
+	for i, s := range buf {
+		advs[i] = s.adv
+	}
+	mean, std := meanStd(advs)
+	for i := range buf {
+		buf[i].adv = (buf[i].adv - mean) / (std + 1e-8)
+	}
+
+	for ep := 0; ep < o.cfg.Epochs; ep++ {
+		o.core.policy.ZeroGrad()
+		o.core.critic.ZeroGrad()
+		for _, s := range buf {
+			pt, err := o.core.policy.Forward(s.obs)
+			if err != nil {
+				panic(err)
+			}
+			probs := nn.Softmax(pt.Out)
+			logP := nn.LogProb(probs, s.action)
+			ratio := math.Exp(logP - s.oldLogP)
+			// Clipped surrogate loss L = -min(ratio·adv, clip(ratio)·adv).
+			// Gradient flows only through the unclipped branch; there,
+			// dL/dlogits = ratio·adv·(p - onehot), i.e. the same form as
+			// A2C's -adv·log p[a] gradient with coefficient ratio·adv.
+			var coef float64
+			clipped := clampRatio(ratio, 1-o.cfg.Clip, 1+o.cfg.Clip)
+			if ratio*s.adv <= clipped*s.adv {
+				coef = ratio * s.adv
+			}
+			dLogits := nn.SoftmaxBackward(probs, s.action, coef)
+			ent := nn.EntropyBackward(probs, o.cfg.EntropyBeta)
+			for i := range dLogits {
+				dLogits[i] += ent[i]
+			}
+			o.core.policy.Backward(pt, dLogits)
+
+			vt, err := o.core.critic.Forward(s.obs)
+			if err != nil {
+				panic(err)
+			}
+			vErr := vt.Out[0] - s.ret
+			o.core.critic.Backward(vt, []float64{2 * o.cfg.ValueCoef * vErr})
+		}
+		n := float64(len(buf))
+		o.core.policy.ScaleGrad(1 / n)
+		o.core.critic.ScaleGrad(1 / n)
+		o.core.policy.ClipGrad(o.cfg.GradClip)
+		o.core.critic.ClipGrad(o.cfg.GradClip)
+		o.popt.Step(o.core.policy)
+		o.vopt.Step(o.core.critic)
+	}
+}
+
+func clampRatio(r, lo, hi float64) float64 {
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	v /= float64(len(xs))
+	return m, math.Sqrt(v)
+}
+
+var _ m3e.Optimizer = (*PPO)(nil)

@@ -1,0 +1,171 @@
+// Package rl implements the two reinforcement-learning mappers of
+// Table IV: Advantage Actor-Critic (A2C) and Proximal Policy
+// Optimization (PPO2), on hand-rolled MLPs (internal/nn).
+//
+// MDP formulation. One episode constructs one mapping: at step j the
+// agent places job j by choosing a joint action (sub-accelerator ×
+// priority bucket). The observation concatenates the job's normalized
+// no-stall latency and required bandwidth on every core, each core's
+// accumulated queue load so far, and the episode progress. The reward
+// is zero until the terminal step, which pays the mapping's fitness
+// (normalized online); one episode therefore costs exactly one sample
+// of the optimization budget, making RL directly comparable with the
+// black-box methods at the same budget (§VI-B).
+//
+// Hyper-parameters follow Table IV: 3×128 MLP policy and critic for
+// both; A2C uses RMSProp at lr 7e-4 with discount 0.99; PPO2 uses Adam
+// at lr 2.5e-4 with clip 0.2.
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/nn"
+)
+
+// PriorityBuckets discretizes the priority genome for the action space.
+const PriorityBuckets = 10
+
+// core is the state shared by both RL mappers.
+type core struct {
+	p       *m3e.Problem
+	rng     *rand.Rand
+	nJobs   int
+	nAccels int
+	obsDim  int
+	actDim  int
+
+	policy *nn.MLP
+	critic *nn.MLP
+
+	// Normalization constants from the analysis table.
+	maxCycles float64
+	maxBW     float64
+
+	// Online reward normalization.
+	rewardCount, rewardMean, rewardM2 float64
+}
+
+func (c *core) init(p *m3e.Problem, rng *rand.Rand, hidden int) error {
+	c.p = p
+	c.rng = rng
+	c.nJobs = p.NumJobs()
+	c.nAccels = p.NumAccels()
+	c.obsDim = 3*c.nAccels + 1
+	c.actDim = c.nAccels * PriorityBuckets
+	c.maxCycles, c.maxBW = 1, 1
+	for j := 0; j < c.nJobs; j++ {
+		for a := 0; a < c.nAccels; a++ {
+			e := p.Table.At(j, a)
+			if f := float64(e.Cycles); f > c.maxCycles {
+				c.maxCycles = f
+			}
+			if e.BWPerCycle > c.maxBW {
+				c.maxBW = e.BWPerCycle
+			}
+		}
+	}
+	var err error
+	c.policy, err = nn.NewMLP([]int{c.obsDim, hidden, hidden, hidden, c.actDim}, nn.Tanh, rng)
+	if err != nil {
+		return err
+	}
+	c.critic, err = nn.NewMLP([]int{c.obsDim, hidden, hidden, hidden, 1}, nn.Tanh, rng)
+	return err
+}
+
+// observe builds the step-j observation given the per-core loads
+// accumulated so far (in no-stall cycles).
+func (c *core) observe(j int, load []float64) []float64 {
+	obs := make([]float64, c.obsDim)
+	var maxLoad float64 = 1
+	for _, l := range load {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	for a := 0; a < c.nAccels; a++ {
+		e := c.p.Table.At(j, a)
+		obs[a] = float64(e.Cycles) / c.maxCycles
+		obs[c.nAccels+a] = e.BWPerCycle / c.maxBW
+		obs[2*c.nAccels+a] = load[a] / maxLoad
+	}
+	obs[3*c.nAccels] = float64(j) / float64(c.nJobs)
+	return obs
+}
+
+// step holds one transition of an episode trace.
+type step struct {
+	obs    []float64
+	action int
+	probs  []float64 // behaviour-policy distribution at decision time
+	value  float64
+}
+
+// episode samples one mapping from the current policy, returning the
+// genome and its trace.
+func (c *core) episode() (encoding.Genome, []step) {
+	g := encoding.Genome{Accel: make([]int, c.nJobs), Prio: make([]float64, c.nJobs)}
+	load := make([]float64, c.nAccels)
+	trace := make([]step, c.nJobs)
+	for j := 0; j < c.nJobs; j++ {
+		obs := c.observe(j, load)
+		pt, err := c.policy.Forward(obs)
+		if err != nil {
+			panic(err)
+		}
+		probs := nn.Softmax(pt.Out)
+		action := nn.SampleCategorical(probs, c.rng)
+		vt, err := c.critic.Forward(obs)
+		if err != nil {
+			panic(err)
+		}
+		a := action / PriorityBuckets
+		b := action % PriorityBuckets
+		g.Accel[j] = a
+		g.Prio[j] = (float64(b) + 0.5) / PriorityBuckets
+		load[a] += float64(c.p.Table.At(j, a).Cycles)
+		trace[j] = step{obs: obs, action: action, probs: probs, value: vt.Out[0]}
+	}
+	return g, trace
+}
+
+// normalizeReward keeps a running mean/variance of raw fitness and
+// returns the standardized value (Welford's algorithm).
+func (c *core) normalizeReward(f float64) float64 {
+	if math.IsInf(f, -1) {
+		f = c.rewardMean - 3*c.rewardStd() // constraint-violating sample
+	}
+	c.rewardCount++
+	delta := f - c.rewardMean
+	c.rewardMean += delta / c.rewardCount
+	c.rewardM2 += delta * (f - c.rewardMean)
+	std := c.rewardStd()
+	return (f - c.rewardMean) / std
+}
+
+func (c *core) rewardStd() float64 {
+	if c.rewardCount < 2 {
+		return 1
+	}
+	v := c.rewardM2 / (c.rewardCount - 1)
+	if v < 1e-12 {
+		return 1e-6
+	}
+	return math.Sqrt(v)
+}
+
+// returns computes the discounted per-step returns for a terminal-only
+// reward.
+func returns(T int, gamma, terminal float64) []float64 {
+	out := make([]float64, T)
+	r := terminal
+	for t := T - 1; t >= 0; t-- {
+		out[t] = r
+		r *= gamma
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+// Small hidden widths keep the RL tests fast; the algorithmic paths are
+// identical to the 128-wide paper configuration.
+func smallA2C() m3e.Optimizer { return NewA2C(A2CConfig{Hidden: 16}) }
+func smallPPO() m3e.Optimizer { return NewPPO(PPOConfig{Hidden: 16}) }
+
+func TestA2CBattery(t *testing.T) {
+	opttest.Battery(t, smallA2C, 300, 1.0)
+}
+
+func TestPPOBattery(t *testing.T) {
+	opttest.Battery(t, smallPPO, 300, 1.0)
+}
+
+func TestDefaultsFollowTableIV(t *testing.T) {
+	a := A2CConfig{}.withDefaults()
+	if a.LR != 7e-4 || a.Gamma != 0.99 || a.Hidden != 128 {
+		t.Errorf("A2C defaults %+v diverge from Table IV", a)
+	}
+	p := PPOConfig{}.withDefaults()
+	if p.LR != 2.5e-4 || p.Gamma != 0.99 || p.Clip != 0.2 || p.Hidden != 128 {
+		t.Errorf("PPO defaults %+v diverge from Table IV", p)
+	}
+}
+
+func TestEpisodeProducesValidGenome(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	var c core
+	if err := c.init(prob, rand.New(rand.NewSource(1)), 8); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		g, trace := c.episode()
+		if err := g.Validate(16, 4); err != nil {
+			t.Fatalf("episode genome invalid: %v", err)
+		}
+		if len(trace) != 16 {
+			t.Fatalf("trace length %d, want 16", len(trace))
+		}
+		for _, s := range trace {
+			if len(s.obs) != c.obsDim {
+				t.Fatalf("obs dim %d, want %d", len(s.obs), c.obsDim)
+			}
+			if s.action < 0 || s.action >= c.actDim {
+				t.Fatalf("action %d outside [0,%d)", s.action, c.actDim)
+			}
+		}
+	}
+}
+
+func TestObservationNormalized(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	var c core
+	if err := c.init(prob, rand.New(rand.NewSource(2)), 8); err != nil {
+		t.Fatal(err)
+	}
+	load := []float64{100, 0, 50, 25}
+	for j := 0; j < 16; j++ {
+		obs := c.observe(j, load)
+		for i, v := range obs {
+			if v < 0 || v > 1+1e-9 || math.IsNaN(v) {
+				t.Fatalf("job %d obs[%d] = %g outside [0,1]", j, i, v)
+			}
+		}
+	}
+}
+
+func TestReturnsDiscounting(t *testing.T) {
+	r := returns(3, 0.5, 8)
+	want := []float64{2, 4, 8}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Errorf("returns[%d] = %g, want %g", i, r[i], want[i])
+		}
+	}
+}
+
+func TestRewardNormalization(t *testing.T) {
+	var c core
+	// Feed constant rewards: normalized values must stay finite and the
+	// running std guard must avoid division by zero.
+	for i := 0; i < 10; i++ {
+		v := c.normalizeReward(5)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("normalized reward %g", v)
+		}
+	}
+	// -Inf (constraint-violating) rewards must not poison the stats.
+	v := c.normalizeReward(math.Inf(-1))
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("normalized -Inf reward = %g", v)
+	}
+}
+
+func TestA2CImprovesOnBiasedProblem(t *testing.T) {
+	// On the heterogeneous S2 a learned policy must, within a modest
+	// budget, avoid the pathological LB placements and beat the random
+	// mean comfortably.
+	prob := opttest.Problem(t, models.Recommendation, 16, platform.S2())
+	randomMean := opttest.RandomMean(t, prob, 40, 17)
+	res, err := m3e.Run(prob, NewA2C(A2CConfig{Hidden: 24, EpisodesPer: 4}), m3e.Options{Budget: 600}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < randomMean {
+		t.Errorf("A2C best %g below random mean %g", res.BestFitness, randomMean)
+	}
+}
+
+func TestPPOLearnsOnBiasedProblem(t *testing.T) {
+	prob := opttest.Problem(t, models.Recommendation, 16, platform.S2())
+	randomMean := opttest.RandomMean(t, prob, 40, 18)
+	res, err := m3e.Run(prob, NewPPO(PPOConfig{Hidden: 24, EpisodesPer: 4}), m3e.Options{Budget: 600}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness < randomMean {
+		t.Errorf("PPO best %g below random mean %g", res.BestFitness, randomMean)
+	}
+}

@@ -1,0 +1,180 @@
+// Package tbpsa implements the Test-Based Population Size Adaptation
+// baseline of Table IV. TBPSA (after Hellwig & Beyer's pcCMSA-ES [32],
+// as popularized by Nevergrad) is a (μ, λ) evolution strategy with
+// self-adaptive step sizes whose population grows when a statistical
+// test on the recent fitness trend detects stagnation or noise — larger
+// populations average noise away.
+//
+// This is a documented simplification of the original: the trend test is
+// a least-squares slope over the recent best-fitness history rather than
+// the full population-covariance test. The paper's initial population of
+// 50 is the default.
+package tbpsa
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/stats"
+)
+
+// Config holds TBPSA's hyper-parameters.
+type Config struct {
+	InitialLambda int     // default 50 (Table IV)
+	MaxLambda     int     // growth cap, default 800
+	GrowthFactor  float64 // population multiplier on stagnation, default 1.25
+	Window        int     // generations in the trend test, default 5
+	Sigma0        float64 // initial step size, default 0.2
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialLambda <= 0 {
+		c.InitialLambda = 50
+	}
+	if c.MaxLambda <= 0 {
+		c.MaxLambda = 800
+	}
+	if c.GrowthFactor <= 1 {
+		c.GrowthFactor = 1.25
+	}
+	if c.Window <= 1 {
+		c.Window = 5
+	}
+	if c.Sigma0 <= 0 {
+		c.Sigma0 = 0.2
+	}
+	return c
+}
+
+type parent struct {
+	x     []float64
+	sigma float64
+}
+
+// Optimizer is the TBPSA search state.
+type Optimizer struct {
+	cfg     Config
+	dim     int
+	nAccels int
+	rng     *rand.Rand
+
+	lambda  int
+	parents []parent
+	pending []parent // offspring awaiting fitness
+	history []float64
+	tau     float64
+}
+
+// New builds a TBPSA optimizer.
+func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
+
+// Name implements m3e.Optimizer.
+func (o *Optimizer) Name() string { return "TBPSA" }
+
+// Init implements m3e.Optimizer.
+func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+	o.dim = 2 * p.NumJobs()
+	o.nAccels = p.NumAccels()
+	o.rng = rng
+	o.lambda = o.cfg.InitialLambda
+	o.tau = 1 / math.Sqrt(2*float64(o.dim))
+	o.parents = nil
+	o.history = nil
+	return nil
+}
+
+// Ask implements m3e.Optimizer.
+func (o *Optimizer) Ask() []encoding.Genome {
+	o.pending = make([]parent, o.lambda)
+	out := make([]encoding.Genome, o.lambda)
+	for k := 0; k < o.lambda; k++ {
+		var child parent
+		if len(o.parents) == 0 {
+			child = parent{x: randomVector(o.dim, o.rng), sigma: o.cfg.Sigma0}
+		} else {
+			p := o.parents[o.rng.Intn(len(o.parents))]
+			// Self-adaptive sigma (log-normal), then Gaussian move.
+			child.sigma = p.sigma * math.Exp(o.tau*o.rng.NormFloat64())
+			if child.sigma < 1e-6 {
+				child.sigma = 1e-6
+			}
+			if child.sigma > 0.5 {
+				child.sigma = 0.5
+			}
+			child.x = make([]float64, o.dim)
+			for i := range child.x {
+				child.x[i] = clamp01(p.x[i] + child.sigma*o.rng.NormFloat64())
+			}
+		}
+		o.pending[k] = child
+		g, err := encoding.FromVector(child.x, o.nAccels)
+		if err != nil {
+			panic(err)
+		}
+		out[k] = g
+	}
+	return out
+}
+
+// Tell implements m3e.Optimizer: (μ, λ) truncation selection, then the
+// population-size test.
+func (o *Optimizer) Tell(_ []encoding.Genome, fitness []float64) {
+	idx := make([]int, len(fitness))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return fitness[idx[a]] > fitness[idx[b]] })
+
+	mu := len(fitness) / 4
+	if mu < 1 {
+		mu = 1
+	}
+	o.parents = o.parents[:0]
+	for r := 0; r < mu && r < len(idx); r++ {
+		if idx[r] < len(o.pending) {
+			o.parents = append(o.parents, o.pending[idx[r]])
+		}
+	}
+	if len(o.parents) == 0 {
+		o.parents = []parent{{x: randomVector(o.dim, o.rng), sigma: o.cfg.Sigma0}}
+	}
+
+	// Trend test: if the best fitness over the recent window is not
+	// improving, grow the population.
+	best := fitness[idx[0]]
+	o.history = append(o.history, best)
+	if len(o.history) >= o.cfg.Window {
+		window := o.history[len(o.history)-o.cfg.Window:]
+		if stats.LinRegSlope(window) <= 0 {
+			next := int(float64(o.lambda) * o.cfg.GrowthFactor)
+			if next > o.cfg.MaxLambda {
+				next = o.cfg.MaxLambda
+			}
+			o.lambda = next
+		}
+	}
+}
+
+func randomVector(dim int, rng *rand.Rand) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x), x < 0:
+		return 0
+	case x >= 1:
+		return math.Nextafter(1, 0)
+	default:
+		return x
+	}
+}
+
+var _ m3e.Optimizer = (*Optimizer)(nil)

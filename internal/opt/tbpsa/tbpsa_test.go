@@ -1,0 +1,99 @@
+package tbpsa
+
+import (
+	"math/rand"
+	"testing"
+
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/opttest"
+	"magma/internal/platform"
+)
+
+func TestBattery(t *testing.T) {
+	opttest.Battery(t, func() m3e.Optimizer { return New(Config{InitialLambda: 24}) }, 400, 1.0)
+}
+
+func TestDefaultInitialPopulation(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.InitialLambda != 50 {
+		t.Errorf("initial lambda = %d, want 50 per Table IV", cfg.InitialLambda)
+	}
+}
+
+func TestPopulationGrowsOnStagnation(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{InitialLambda: 10, Window: 3})
+	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	// Feed constant fitness: pure stagnation; lambda must grow.
+	for gen := 0; gen < 6; gen++ {
+		gs := o.Ask()
+		fit := make([]float64, len(gs))
+		for i := range fit {
+			fit[i] = 5.0
+		}
+		o.Tell(gs, fit)
+	}
+	if o.lambda <= 10 {
+		t.Errorf("lambda = %d after stagnation, expected growth", o.lambda)
+	}
+}
+
+func TestPopulationStableWhileImproving(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{InitialLambda: 10, Window: 3})
+	if err := o.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for gen := 0; gen < 6; gen++ {
+		gs := o.Ask()
+		fit := make([]float64, len(gs))
+		for i := range fit {
+			best += 1.0
+			fit[i] = best // strictly improving
+		}
+		o.Tell(gs, fit)
+	}
+	if o.lambda != 10 {
+		t.Errorf("lambda = %d while improving, want stable 10", o.lambda)
+	}
+}
+
+func TestGrowthCapped(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{InitialLambda: 10, Window: 2, MaxLambda: 20})
+	if err := o.Init(prob, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 20; gen++ {
+		gs := o.Ask()
+		fit := make([]float64, len(gs))
+		o.Tell(gs, fit)
+	}
+	if o.lambda > 20 {
+		t.Errorf("lambda = %d beyond cap 20", o.lambda)
+	}
+}
+
+func TestOffspringValid(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
+	o := New(Config{InitialLambda: 8})
+	if err := o.Init(prob, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for gen := 0; gen < 10; gen++ {
+		gs := o.Ask()
+		fit := make([]float64, len(gs))
+		for i, g := range gs {
+			if err := g.Validate(16, 4); err != nil {
+				t.Fatalf("gen %d offspring %d invalid: %v", gen, i, err)
+			}
+			fit[i] = r.Float64()
+		}
+		o.Tell(gs, fit)
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"magma/internal/analyzer"
+	"magma/internal/models"
+)
+
+// RenderGantt writes an ASCII visualization of the schedule in the
+// spirit of Fig. 15: one row per sub-accelerator, time flowing right,
+// each cell showing the task class of the job occupying the core
+// (V=Vision, L=Lang, R=Recom, .=idle). A second block prints the
+// per-frame bandwidth allocation as a % of system BW.
+func RenderGantt(w io.Writer, t *analyzer.Table, res Result, cols int) error {
+	if cols <= 0 {
+		cols = 80
+	}
+	if res.TotalCycles <= 0 {
+		return fmt.Errorf("sim: empty result")
+	}
+	nAccels := t.NumAccels()
+	rows := make([][]byte, nAccels)
+	for a := range rows {
+		rows[a] = []byte(strings.Repeat(".", cols))
+	}
+	runs := append([]JobRun(nil), res.JobRuns...)
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Start < runs[j].Start })
+	for _, r := range runs {
+		lo := int(r.Start / res.TotalCycles * float64(cols))
+		hi := int(r.End / res.TotalCycles * float64(cols))
+		if hi >= cols {
+			hi = cols - 1
+		}
+		ch := taskChar(t.Group.Jobs[r.JobID].Task)
+		for c := lo; c <= hi; c++ {
+			rows[r.AccelID][c] = ch
+		}
+	}
+	fmt.Fprintf(w, "Schedule (%0.3g cycles, %.1f GFLOP/s) — V=Vision L=Lang R=Recom .=idle\n",
+		res.TotalCycles, res.ThroughputGFLOPs)
+	for a, row := range rows {
+		fmt.Fprintf(w, "%-10s |%s|\n", t.Platform.SubAccels[a].Name, row)
+	}
+	if len(res.Frames) > 0 {
+		fmt.Fprintln(w, "BW allocation (% of system BW per core, sampled frames):")
+		sys := t.Platform.SystemBWBytesPerCycle()
+		step := len(res.Frames)/8 + 1
+		for i := 0; i < len(res.Frames); i += step {
+			f := res.Frames[i]
+			fmt.Fprintf(w, "  t=%-12.4g", f.Start)
+			for a := range f.AllocBW {
+				fmt.Fprintf(w, " %5.1f%%", 100*f.AllocBW[a]/sys)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+func taskChar(t models.Task) byte {
+	switch t {
+	case models.Vision:
+		return 'V'
+	case models.Language:
+		return 'L'
+	case models.Recommendation:
+		return 'R'
+	default:
+		return '?'
+	}
+}
+
+// FramesCSV writes the raw bandwidth-allocation frames as CSV
+// (start,end,then one allocated-BW column per core) for external plotting.
+func FramesCSV(w io.Writer, res Result) error {
+	if len(res.Frames) == 0 {
+		return fmt.Errorf("sim: result captured no frames (set Options.CaptureFrames)")
+	}
+	fmt.Fprint(w, "start,end")
+	for a := range res.Frames[0].AllocBW {
+		fmt.Fprintf(w, ",accel%d_job,accel%d_bw", a, a)
+	}
+	fmt.Fprintln(w)
+	for _, f := range res.Frames {
+		fmt.Fprintf(w, "%g,%g", f.Start, f.End)
+		for a := range f.AllocBW {
+			fmt.Fprintf(w, ",%d,%g", f.JobID[a], f.AllocBW[a])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+// Package sim executes a decoded mapping on a multi-core accelerator:
+// it implements the BW Allocator of Algorithm 1 and derives the
+// throughput objective M3E optimizes (§IV-D1).
+//
+// The execution model: each sub-accelerator runs its assigned jobs in
+// priority order. At any instant, the set of live jobs shares the system
+// bandwidth. A job's outstanding demand is (no-stall latency × required
+// BW); granting it less than its required bandwidth stretches it
+// proportionally (the memory-bound roofline). Whenever any live job
+// finishes, its sub-accelerator fetches its next job and the allocator
+// re-divides the system bandwidth in the ratio of the live jobs'
+// requirements — exactly the time-frame loop of Algorithm 1.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"magma/internal/analyzer"
+	"magma/internal/platform"
+)
+
+// Mapping is a decoded global mapping: one ordered job queue per
+// sub-accelerator (Fig. 4a).
+type Mapping struct {
+	Queues [][]int // Queues[a] = job IDs in execution order on accel a
+}
+
+// Validate checks that the mapping is a permutation of jobs 0..nJobs-1
+// spread over nAccels queues.
+func (m Mapping) Validate(nJobs, nAccels int) error {
+	if len(m.Queues) != nAccels {
+		return fmt.Errorf("sim: mapping has %d queues, platform has %d accels", len(m.Queues), nAccels)
+	}
+	seen := make([]bool, nJobs)
+	count := 0
+	for a, q := range m.Queues {
+		for _, j := range q {
+			if j < 0 || j >= nJobs {
+				return fmt.Errorf("sim: queue %d references job %d (nJobs=%d)", a, j, nJobs)
+			}
+			if seen[j] {
+				return fmt.Errorf("sim: job %d scheduled twice", j)
+			}
+			seen[j] = true
+			count++
+		}
+	}
+	if count != nJobs {
+		return fmt.Errorf("sim: mapping schedules %d of %d jobs", count, nJobs)
+	}
+	return nil
+}
+
+// JobRun records one job's execution window.
+type JobRun struct {
+	JobID      int
+	AccelID    int
+	Start, End float64 // cycles
+}
+
+// Frame is one bandwidth-allocation time frame: between consecutive job
+// boundaries the allocation is constant (Fig. 4b).
+type Frame struct {
+	Start, End float64   // cycles
+	JobID      []int     // per accel: live job ID, or -1 if idle
+	AllocBW    []float64 // per accel: allocated bytes/cycle
+}
+
+// Result is the outcome of executing one mapping.
+type Result struct {
+	TotalCycles      float64
+	Seconds          float64
+	ThroughputGFLOPs float64
+	Energy           float64   // job energy + leakage × makespan
+	BusyCycles       []float64 // per-core cycles spent running jobs
+	JobRuns          []JobRun
+	Frames           []Frame
+}
+
+// CoreUtilization returns the fraction of the makespan each core spent
+// busy.
+func (r Result) CoreUtilization() []float64 {
+	out := make([]float64, len(r.BusyCycles))
+	if r.TotalCycles <= 0 {
+		return out
+	}
+	for i, b := range r.BusyCycles {
+		out[i] = b / r.TotalCycles
+	}
+	return out
+}
+
+// leakagePerPEPerCycle is the static-power term that makes energy (and
+// hence EDP) mapping-dependent: idling cores still burn power until the
+// group completes.
+const leakagePerPEPerCycle = 0.05
+
+// live is the in-flight job state of one sub-accelerator.
+type live struct {
+	job    int
+	work   float64 // outstanding demand: remaining latency × reqBW
+	req    float64 // required bytes/cycle
+	noBW   float64 // remaining cycles for jobs with ~zero BW demand
+	start  float64
+	active bool
+}
+
+// allocate divides the system bandwidth among the live jobs according
+// to the policy, writing per-core grants into alloc.
+func allocate(state []live, alloc []float64, sysBW float64, policy Policy) {
+	var sumReq float64
+	for a := range state {
+		alloc[a] = 0
+		if state[a].active {
+			sumReq += state[a].req
+		}
+	}
+	if sumReq <= sysBW {
+		for a := range state {
+			if state[a].active {
+				alloc[a] = state[a].req
+			}
+		}
+		return
+	}
+	if policy == Proportional {
+		scale := sysBW / sumReq
+		for a := range state {
+			if state[a].active {
+				alloc[a] = state[a].req * scale
+			}
+		}
+		return
+	}
+	// Max-min water-filling capped at each job's requirement: repeatedly
+	// grant jobs whose requirement fits under the fair share of the
+	// remaining bandwidth; split the rest evenly among the still-hungry.
+	remaining := sysBW
+	unsat := make([]int, 0, len(state))
+	for a := range state {
+		if state[a].active && state[a].req > 1e-12 {
+			unsat = append(unsat, a)
+		}
+	}
+	for len(unsat) > 0 {
+		fair := remaining / float64(len(unsat))
+		progressed := false
+		keep := unsat[:0]
+		for _, a := range unsat {
+			if state[a].req <= fair {
+				alloc[a] = state[a].req
+				remaining -= state[a].req
+				progressed = true
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		unsat = keep
+		if !progressed {
+			fair = remaining / float64(len(unsat))
+			for _, a := range unsat {
+				alloc[a] = fair
+			}
+			return
+		}
+	}
+}
+
+// Policy selects how the allocator divides the system bandwidth when
+// the live jobs' requirements exceed it.
+type Policy uint8
+
+const (
+	// Proportional (default) is the literal Algorithm 1 rule:
+	// allocations scale by req_i/Σreq, so under saturation every live
+	// job — including compute-bound ones that asked for almost nothing —
+	// stretches by the same Σreq/BWsys factor. This coupling is the
+	// mechanism the mapper exploits: staggering BW-hungry jobs across
+	// time keeps Σreq under BWsys so nothing stalls (the Fig. 15
+	// behaviour), while naive mappings co-schedule hungry and
+	// compute-bound jobs and stall everything.
+	Proportional Policy = iota
+	// WaterFill is max-min fairness capped at each job's requirement:
+	// compute-bound jobs always run at no-stall speed and only
+	// BW-hungry jobs stall. A work-conserving alternative kept for the
+	// allocator-policy ablation (BenchmarkAblationAllocator).
+	WaterFill
+)
+
+// Options tunes the simulator.
+type Options struct {
+	CaptureFrames bool   // record per-frame BW allocations (Fig. 15)
+	Policy        Policy // bandwidth division rule under saturation
+}
+
+// Run executes the mapping against the job analysis table.
+func Run(t *analyzer.Table, m Mapping, opt Options) (Result, error) {
+	nJobs, nAccels := t.NumJobs(), t.NumAccels()
+	if err := m.Validate(nJobs, nAccels); err != nil {
+		return Result{}, err
+	}
+	sysBW := t.Platform.SystemBWBytesPerCycle()
+	if sysBW <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive system BW")
+	}
+
+	// Per-accel cursor into its queue, plus the live job state.
+	next := make([]int, nAccels)
+	state := make([]live, nAccels)
+	res := Result{JobRuns: make([]JobRun, 0, nJobs)}
+
+	launch := func(a int, now float64) {
+		for next[a] < len(m.Queues[a]) {
+			j := m.Queues[a][next[a]]
+			next[a]++
+			e := t.At(j, a)
+			st := live{job: j, start: now, active: true, req: e.BWPerCycle}
+			if e.BWPerCycle <= 1e-12 {
+				st.noBW = float64(e.Cycles)
+			} else {
+				st.work = float64(e.Cycles) * e.BWPerCycle
+			}
+			state[a] = st
+			return
+		}
+		state[a] = live{job: -1}
+	}
+
+	now := 0.0
+	for a := 0; a < nAccels; a++ {
+		launch(a, now)
+	}
+
+	alloc := make([]float64, nAccels)
+	remaining := nJobs
+	for remaining > 0 {
+		allocate(state, alloc, sysBW, opt.Policy)
+		// Find the earliest completion among live jobs.
+		minRuntime := math.Inf(1)
+		for a := range state {
+			s := &state[a]
+			if !s.active {
+				continue
+			}
+			var runtime float64
+			if s.req <= 1e-12 {
+				runtime = s.noBW
+			} else {
+				runtime = s.work / alloc[a]
+			}
+			if runtime < minRuntime {
+				minRuntime = runtime
+			}
+		}
+		if math.IsInf(minRuntime, 1) {
+			return Result{}, fmt.Errorf("sim: no live jobs but %d remaining", remaining)
+		}
+		if opt.CaptureFrames {
+			f := Frame{Start: now, End: now + minRuntime,
+				JobID: make([]int, nAccels), AllocBW: make([]float64, nAccels)}
+			for a := range state {
+				if state[a].active {
+					f.JobID[a] = state[a].job
+					f.AllocBW[a] = alloc[a]
+				} else {
+					f.JobID[a] = -1
+				}
+			}
+			res.Frames = append(res.Frames, f)
+		}
+		now += minRuntime
+		// Progress every live job; retire the finished ones.
+		for a := range state {
+			s := &state[a]
+			if !s.active {
+				continue
+			}
+			var done bool
+			if s.req <= 1e-12 {
+				s.noBW -= minRuntime
+				done = s.noBW <= 1e-9
+			} else {
+				s.work -= minRuntime * alloc[a]
+				done = s.work <= 1e-6*s.req // tolerance in work units
+			}
+			if done {
+				res.JobRuns = append(res.JobRuns, JobRun{JobID: s.job, AccelID: a, Start: s.start, End: now})
+				remaining--
+				launch(a, now)
+			}
+		}
+	}
+
+	res.BusyCycles = make([]float64, nAccels)
+	for _, r := range res.JobRuns {
+		res.BusyCycles[r.AccelID] += r.End - r.Start
+	}
+	res.TotalCycles = now
+	res.Seconds = now / platform.ClockHz
+	flops := t.Group.TotalFLOPs()
+	if res.Seconds > 0 {
+		res.ThroughputGFLOPs = float64(flops) / res.Seconds / 1e9
+	}
+	var jobEnergy float64
+	for _, r := range res.JobRuns {
+		jobEnergy += t.At(r.JobID, r.AccelID).Energy
+	}
+	var pes float64
+	for _, s := range t.Platform.SubAccels {
+		pes += float64(s.Config.PEs())
+	}
+	res.Energy = jobEnergy + leakagePerPEPerCycle*pes*res.TotalCycles
+	return res, nil
+}
+
+// NoStallLowerBound returns the idealized makespan (cycles) if bandwidth
+// were unlimited: the maximum per-queue sum of no-stall latencies. It is
+// a useful sanity bound: Run can never beat it.
+func NoStallLowerBound(t *analyzer.Table, m Mapping) float64 {
+	var worst float64
+	for a, q := range m.Queues {
+		var sum float64
+		for _, j := range q {
+			sum += float64(t.At(j, a).Cycles)
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"magma/internal/analyzer"
+	"magma/internal/models"
+	"magma/internal/platform"
+	"magma/internal/workload"
+)
+
+func buildTable(t testing.TB, task models.Task, n int, p platform.Platform) *analyzer.Table {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{Task: task, NumJobs: n, GroupSize: n, Seed: 17})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	tab, err := analyzer.Build(w.Groups[0], p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tab
+}
+
+// roundRobin spreads jobs over accels in arrival order.
+func roundRobin(nJobs, nAccels int) Mapping {
+	m := Mapping{Queues: make([][]int, nAccels)}
+	for j := 0; j < nJobs; j++ {
+		a := j % nAccels
+		m.Queues[a] = append(m.Queues[a], j)
+	}
+	return m
+}
+
+func TestMappingValidate(t *testing.T) {
+	m := roundRobin(10, 3)
+	if err := m.Validate(10, 3); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	if err := m.Validate(10, 2); err == nil {
+		t.Error("queue-count mismatch accepted")
+	}
+	dup := Mapping{Queues: [][]int{{0, 1, 1}, {2}}}
+	if err := dup.Validate(3, 2); err == nil {
+		t.Error("duplicate job accepted")
+	}
+	missing := Mapping{Queues: [][]int{{0}, {2}}}
+	if err := missing.Validate(3, 2); err == nil {
+		t.Error("missing job accepted")
+	}
+	oob := Mapping{Queues: [][]int{{0, 5}, {1, 2}}}
+	if err := oob.Validate(3, 2); err == nil {
+		t.Error("out-of-range job accepted")
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	tab := buildTable(t, models.Mix, 40, platform.S2())
+	m := roundRobin(40, 4)
+	res, err := Run(tab, m, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.JobRuns) != 40 {
+		t.Errorf("completed %d jobs, want 40", len(res.JobRuns))
+	}
+	if res.TotalCycles <= 0 || res.ThroughputGFLOPs <= 0 || res.Energy <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	seen := map[int]bool{}
+	for _, r := range res.JobRuns {
+		if seen[r.JobID] {
+			t.Errorf("job %d finished twice", r.JobID)
+		}
+		seen[r.JobID] = true
+		if r.End < r.Start {
+			t.Errorf("job %d ends before it starts", r.JobID)
+		}
+	}
+}
+
+func TestRunRespectsQueueOrder(t *testing.T) {
+	tab := buildTable(t, models.Vision, 20, platform.S1())
+	m := roundRobin(20, 4)
+	res, err := Run(tab, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endOf := map[int]float64{}
+	startOf := map[int]float64{}
+	for _, r := range res.JobRuns {
+		endOf[r.JobID] = r.End
+		startOf[r.JobID] = r.Start
+	}
+	for _, q := range m.Queues {
+		for i := 1; i < len(q); i++ {
+			if startOf[q[i]] < endOf[q[i-1]]-1e-6 {
+				t.Errorf("job %d started at %g before predecessor %d ended at %g",
+					q[i], startOf[q[i]], q[i-1], endOf[q[i-1]])
+			}
+		}
+	}
+}
+
+func TestRunNeverBeatsNoStallBound(t *testing.T) {
+	for _, task := range []models.Task{models.Vision, models.Mix} {
+		tab := buildTable(t, task, 30, platform.S2())
+		m := roundRobin(30, 4)
+		res, err := Run(tab, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := NoStallLowerBound(tab, m)
+		if res.TotalCycles < lb-1e-6 {
+			t.Errorf("%v: makespan %g beat the no-stall bound %g", task, res.TotalCycles, lb)
+		}
+	}
+}
+
+func TestAmpleBWHitsNoStallBound(t *testing.T) {
+	// With effectively unlimited bandwidth, the makespan must equal the
+	// no-stall lower bound.
+	p := platform.S1().WithBW(1e9)
+	tab := buildTable(t, models.Vision, 24, p)
+	m := roundRobin(24, 4)
+	res, err := Run(tab, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NoStallLowerBound(tab, m)
+	if math.Abs(res.TotalCycles-lb) > 1e-6*lb {
+		t.Errorf("ample BW makespan %g != no-stall bound %g", res.TotalCycles, lb)
+	}
+}
+
+func TestBWStarvationStretches(t *testing.T) {
+	// Shrinking the system bandwidth slows a BW-hungry mapping down.
+	// Recommendation on the homogeneous S1 keeps every queue
+	// memory-bound (no compute-bound whale can mask the starvation).
+	tabHi := buildTable(t, models.Recommendation, 30, platform.S1().WithBW(16))
+	tabLo := buildTable(t, models.Recommendation, 30, platform.S1().WithBW(1))
+	m := roundRobin(30, 4)
+	hi, err := Run(tabHi, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Run(tabLo, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.TotalCycles <= hi.TotalCycles {
+		t.Errorf("BW=1 makespan %g not worse than BW=16 %g", lo.TotalCycles, hi.TotalCycles)
+	}
+}
+
+func TestFramesNeverExceedSystemBW(t *testing.T) {
+	tab := buildTable(t, models.Mix, 50, platform.S2().WithBW(2))
+	m := roundRobin(50, 4)
+	res, err := Run(tab, m, Options{CaptureFrames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) == 0 {
+		t.Fatal("no frames captured")
+	}
+	sys := tab.Platform.SystemBWBytesPerCycle()
+	for _, f := range res.Frames {
+		var sum float64
+		for _, bw := range f.AllocBW {
+			if bw < 0 {
+				t.Fatalf("negative allocation %g", bw)
+			}
+			sum += bw
+		}
+		if sum > sys*(1+1e-9) {
+			t.Fatalf("frame [%g,%g] allocates %g > system %g", f.Start, f.End, sum, sys)
+		}
+	}
+	// Frames must tile [0, TotalCycles] without gaps.
+	for i := 1; i < len(res.Frames); i++ {
+		if math.Abs(res.Frames[i].Start-res.Frames[i-1].End) > 1e-6 {
+			t.Fatalf("frame gap between %g and %g", res.Frames[i-1].End, res.Frames[i].Start)
+		}
+	}
+	last := res.Frames[len(res.Frames)-1]
+	if math.Abs(last.End-res.TotalCycles) > 1e-6*res.TotalCycles {
+		t.Errorf("last frame ends at %g, makespan %g", last.End, res.TotalCycles)
+	}
+}
+
+func TestEmptyQueuesAllowed(t *testing.T) {
+	// All jobs on one core: valid (if wasteful) mapping.
+	tab := buildTable(t, models.Vision, 12, platform.S1())
+	m := Mapping{Queues: make([][]int, 4)}
+	for j := 0; j < 12; j++ {
+		m.Queues[2] = append(m.Queues[2], j)
+	}
+	res, err := Run(tab, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JobRuns) != 12 {
+		t.Errorf("completed %d jobs, want 12", len(res.JobRuns))
+	}
+	for _, r := range res.JobRuns {
+		if r.AccelID != 2 {
+			t.Errorf("job %d ran on accel %d", r.JobID, r.AccelID)
+		}
+	}
+}
+
+func TestCoreUtilization(t *testing.T) {
+	tab := buildTable(t, models.Vision, 12, platform.S1())
+	// All jobs on core 2: that core is ~fully busy, the rest idle.
+	m := Mapping{Queues: make([][]int, 4)}
+	for j := 0; j < 12; j++ {
+		m.Queues[2] = append(m.Queues[2], j)
+	}
+	res, err := Run(tab, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.CoreUtilization()
+	if len(u) != 4 {
+		t.Fatalf("utilization for %d cores", len(u))
+	}
+	if u[2] < 0.99 || u[2] > 1.0000001 {
+		t.Errorf("busy core utilization = %g, want ~1", u[2])
+	}
+	for _, a := range []int{0, 1, 3} {
+		if u[a] != 0 {
+			t.Errorf("idle core %d utilization = %g", a, u[a])
+		}
+	}
+	if got := (Result{}).CoreUtilization(); len(got) != 0 {
+		t.Errorf("empty result utilization = %v", got)
+	}
+}
+
+func TestBadMappingRejected(t *testing.T) {
+	tab := buildTable(t, models.Vision, 10, platform.S1())
+	if _, err := Run(tab, Mapping{Queues: [][]int{{0}}}, Options{}); err == nil {
+		t.Error("short mapping accepted")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	tab := buildTable(t, models.Mix, 30, platform.S2())
+	res, err := Run(tab, roundRobin(30, 4), Options{CaptureFrames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderGantt(&buf, tab, res, 60); err != nil {
+		t.Fatalf("RenderGantt: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "HB-32") || !strings.Contains(out, "LB-32") {
+		t.Errorf("gantt missing core names:\n%s", out)
+	}
+	if !strings.Contains(out, "BW allocation") {
+		t.Errorf("gantt missing BW block:\n%s", out)
+	}
+	if err := RenderGantt(&buf, tab, Result{}, 10); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestFramesCSV(t *testing.T) {
+	tab := buildTable(t, models.Vision, 12, platform.S1())
+	res, err := Run(tab, roundRobin(12, 4), Options{CaptureFrames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FramesCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Frames)+1 {
+		t.Errorf("CSV lines = %d, want %d", len(lines), len(res.Frames)+1)
+	}
+	noFrames, err := Run(tab, roundRobin(12, 4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FramesCSV(&buf, noFrames); err == nil {
+		t.Error("FramesCSV accepted result without frames")
+	}
+}
+
+// Property: busy time per core equals the sum of its jobs' spans, every
+// job finishes within the makespan, and per-core spans never overlap.
+func TestQuickWorkConservation(t *testing.T) {
+	tab := buildTable(t, models.Mix, 24, platform.S2().WithBW(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Mapping{Queues: make([][]int, 4)}
+		for _, j := range r.Perm(24) {
+			a := r.Intn(4)
+			m.Queues[a] = append(m.Queues[a], j)
+		}
+		res, err := Run(tab, m, Options{})
+		if err != nil {
+			return false
+		}
+		perCore := make([]float64, 4)
+		lastEnd := make([]float64, 4)
+		ends := map[int][][2]float64{}
+		for _, run := range res.JobRuns {
+			if run.End > res.TotalCycles*(1+1e-9) {
+				return false
+			}
+			perCore[run.AccelID] += run.End - run.Start
+			if run.End > lastEnd[run.AccelID] {
+				lastEnd[run.AccelID] = run.End
+			}
+			ends[run.AccelID] = append(ends[run.AccelID], [2]float64{run.Start, run.End})
+		}
+		for a := 0; a < 4; a++ {
+			if math.Abs(perCore[a]-res.BusyCycles[a]) > 1e-6*(1+perCore[a]) {
+				return false
+			}
+			// Spans on one core must not overlap (jobs are sequential).
+			spans := ends[a]
+			sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+			for i := 1; i < len(spans); i++ {
+				if spans[i][0] < spans[i-1][1]-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random valid mappings, the simulator conserves jobs,
+// produces a positive makespan at least the no-stall bound, and never
+// overshoots system bandwidth.
+func TestQuickSimulatorInvariants(t *testing.T) {
+	tab := buildTable(t, models.Mix, 30, platform.S2().WithBW(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Mapping{Queues: make([][]int, 4)}
+		perm := r.Perm(30)
+		for _, j := range perm {
+			a := r.Intn(4)
+			m.Queues[a] = append(m.Queues[a], j)
+		}
+		res, err := Run(tab, m, Options{CaptureFrames: true})
+		if err != nil {
+			return false
+		}
+		if len(res.JobRuns) != 30 {
+			return false
+		}
+		if res.TotalCycles < NoStallLowerBound(tab, m)-1e-6 {
+			return false
+		}
+		sys := tab.Platform.SystemBWBytesPerCycle()
+		for _, fr := range res.Frames {
+			var sum float64
+			for _, bw := range fr.AllocBW {
+				sum += bw
+			}
+			if sum > sys*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, 1}}
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[float64]bool{}
+	for _, v := range vals {
+		got[math.Round(v*1e9)/1e9] = true
+	}
+	if !got[3] || !got[1] {
+		t.Errorf("eigenvalues = %v, want {3,1}", vals)
+	}
+	// Eigenvectors orthonormal.
+	checkOrthonormal(t, vecs)
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(10)
+		a := randomSym(n, rng)
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// a ≈ V diag(vals) Vᵀ
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += vecs[i][k] * vals[k] * vecs[j][k]
+				}
+				if math.Abs(s-a[i][j]) > 1e-8 {
+					t.Fatalf("trial %d: reconstruction[%d][%d] = %g, want %g", trial, i, j, s, a[i][j])
+				}
+			}
+		}
+		checkOrthonormal(t, vecs)
+	}
+}
+
+func TestSymEigenErrors(t *testing.T) {
+	if _, _, err := SymEigen(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, _, err := SymEigen([][]float64{{1, 2}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func checkOrthonormal(t *testing.T, vecs [][]float64) {
+	t.Helper()
+	n := len(vecs)
+	for c1 := 0; c1 < n; c1++ {
+		for c2 := c1; c2 < n; c2++ {
+			var dot float64
+			for r := 0; r < n; r++ {
+				dot += vecs[r][c1] * vecs[r][c2]
+			}
+			want := 0.0
+			if c1 == c2 {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("columns %d,%d dot = %g, want %g", c1, c2, dot, want)
+			}
+		}
+	}
+}
+
+func randomSym(n int, rng *rand.Rand) [][]float64 {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			a[i][j], a[j][i] = v, v
+		}
+	}
+	return a
+}
+
+func TestPCA2SeparatesClusters(t *testing.T) {
+	// Two well-separated clusters in 10-D must separate along PC1.
+	rng := rand.New(rand.NewSource(2))
+	var rows [][]float64
+	var labels []int
+	for i := 0; i < 60; i++ {
+		r := make([]float64, 10)
+		off := 0.0
+		lbl := 0
+		if i%2 == 1 {
+			off = 8.0
+			lbl = 1
+		}
+		for j := range r {
+			r[j] = rng.NormFloat64() * 0.3
+		}
+		r[0] += off
+		r[1] += off / 2
+		rows = append(rows, r)
+		labels = append(labels, lbl)
+	}
+	pts, err := PCA2(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean0, mean1 float64
+	var n0, n1 int
+	for i, p := range pts {
+		if labels[i] == 0 {
+			mean0 += p[0]
+			n0++
+		} else {
+			mean1 += p[0]
+			n1++
+		}
+	}
+	mean0 /= float64(n0)
+	mean1 /= float64(n1)
+	if math.Abs(mean0-mean1) < 4 {
+		t.Errorf("cluster separation along PC1 = %g, want > 4", math.Abs(mean0-mean1))
+	}
+}
+
+func TestPCA2Errors(t *testing.T) {
+	if _, err := PCA2([][]float64{{1, 2}}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := PCA2([][]float64{{1}, {2}}); err == nil {
+		t.Error("1-D samples accepted")
+	}
+	if _, err := PCA2([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got, err := Geomean([]float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean(1,4) = %g, want 2", got)
+	}
+	if _, err := Geomean(nil); err == nil {
+		t.Error("empty geomean accepted")
+	}
+	if _, err := Geomean([]float64{1, -1}); err == nil {
+		t.Error("negative geomean accepted")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("mean = %g, want 5", got)
+	}
+	if got := Stddev(xs); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %g, want ~2.138", got)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty stats not zero")
+	}
+}
+
+func TestLinRegSlope(t *testing.T) {
+	if got := LinRegSlope([]float64{1, 2, 3, 4}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("slope = %g, want 1", got)
+	}
+	if got := LinRegSlope([]float64{4, 3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("slope = %g, want -1", got)
+	}
+	if got := LinRegSlope([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("flat slope = %g, want 0", got)
+	}
+	if got := LinRegSlope([]float64{1}); got != 0 {
+		t.Errorf("single-point slope = %g", got)
+	}
+}
+
+// Property: eigenvalues of A sum to its trace.
+func TestQuickEigenTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		a := randomSym(n, rng)
+		vals, _, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a[i][i]
+			sum += vals[i]
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

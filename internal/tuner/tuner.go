@@ -1,0 +1,196 @@
+// Package tuner selects MAGMA's hyper-parameters offline (§V-B3). The
+// paper used a Bayesian-optimization framework [7]; this is a compact
+// sequential model-based (SMBO) equivalent: random exploration followed
+// by candidates chosen by expected improvement under a Gaussian-kernel
+// regression surrogate (a kernel smoother giving mean and uncertainty,
+// standing in for a Gaussian process — documented substitution).
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param describes one tunable dimension.
+type Param struct {
+	Name     string
+	Min, Max float64
+}
+
+// Objective evaluates one configuration (higher is better). The point
+// vector is ordered as the Params slice.
+type Objective func(point []float64) float64
+
+// Config tunes the SMBO loop.
+type Config struct {
+	InitRandom int     // random exploration points (default 8)
+	Iterations int     // surrogate-guided points (default 24)
+	Candidates int     // candidate pool per iteration (default 256)
+	Bandwidth  float64 // kernel bandwidth in normalized space (default 0.15)
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitRandom <= 0 {
+		c.InitRandom = 8
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 24
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 256
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 0.15
+	}
+	return c
+}
+
+// Result is the tuning outcome.
+type Result struct {
+	Best      []float64
+	BestScore float64
+	History   []Trial
+}
+
+// Trial is one evaluated configuration.
+type Trial struct {
+	Point []float64
+	Score float64
+}
+
+// Tune runs the SMBO loop over the space and returns the best found
+// configuration.
+func Tune(space []Param, obj Objective, cfg Config, seed int64) (Result, error) {
+	if len(space) == 0 {
+		return Result{}, fmt.Errorf("tuner: empty search space")
+	}
+	for _, p := range space {
+		if !(p.Max > p.Min) {
+			return Result{}, fmt.Errorf("tuner: param %q has empty range [%g,%g]", p.Name, p.Min, p.Max)
+		}
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{BestScore: math.Inf(-1)}
+
+	norm := func(pt []float64) []float64 {
+		u := make([]float64, len(pt))
+		for i, p := range space {
+			u[i] = (pt[i] - p.Min) / (p.Max - p.Min)
+		}
+		return u
+	}
+	sample := func() []float64 {
+		pt := make([]float64, len(space))
+		for i, p := range space {
+			pt[i] = p.Min + rng.Float64()*(p.Max-p.Min)
+		}
+		return pt
+	}
+	evaluate := func(pt []float64) {
+		score := obj(pt)
+		res.History = append(res.History, Trial{Point: append([]float64(nil), pt...), Score: score})
+		if score > res.BestScore {
+			res.BestScore = score
+			res.Best = append([]float64(nil), pt...)
+		}
+	}
+
+	for i := 0; i < cfg.InitRandom; i++ {
+		evaluate(sample())
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		bestEI, bestPt := math.Inf(-1), sample()
+		for c := 0; c < cfg.Candidates; c++ {
+			pt := sample()
+			mu, sigma := surrogate(norm(pt), res.History, norm, cfg.Bandwidth)
+			ei := expectedImprovement(mu, sigma, res.BestScore)
+			if ei > bestEI {
+				bestEI, bestPt = ei, pt
+			}
+		}
+		evaluate(bestPt)
+	}
+	return res, nil
+}
+
+// surrogate is a Nadaraya–Watson kernel regressor returning the
+// smoothed mean and a distance-driven uncertainty at u.
+func surrogate(u []float64, hist []Trial, norm func([]float64) []float64, h float64) (mu, sigma float64) {
+	var wSum, mSum float64
+	minD := math.Inf(1)
+	for _, tr := range hist {
+		d := dist(u, norm(tr.Point))
+		if d < minD {
+			minD = d
+		}
+		w := math.Exp(-d * d / (2 * h * h))
+		wSum += w
+		mSum += w * tr.Score
+	}
+	if wSum < 1e-12 {
+		// Far from everything: fall back to the historical mean with
+		// high uncertainty.
+		var s float64
+		for _, tr := range hist {
+			s += tr.Score
+		}
+		return s / float64(len(hist)), spread(hist)
+	}
+	mu = mSum / wSum
+	// Uncertainty grows with distance to the nearest observation.
+	sigma = spread(hist) * (1 - math.Exp(-minD/h))
+	if sigma < 1e-9 {
+		sigma = 1e-9
+	}
+	return mu, sigma
+}
+
+func spread(hist []Trial) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, tr := range hist {
+		lo = math.Min(lo, tr.Score)
+		hi = math.Max(hi, tr.Score)
+	}
+	if s := hi - lo; s > 0 {
+		return s
+	}
+	return 1
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// expectedImprovement is the closed-form EI for a Gaussian posterior.
+func expectedImprovement(mu, sigma, best float64) float64 {
+	if sigma <= 0 {
+		if mu > best {
+			return mu - best
+		}
+		return 0
+	}
+	z := (mu - best) / sigma
+	return (mu-best)*normCDF(z) + sigma*normPDF(z)
+}
+
+func normPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// MAGMASpace is the hyper-parameter space the paper tunes for MAGMA:
+// the operator rates, elite ratio and population scale.
+func MAGMASpace() []Param {
+	return []Param{
+		{Name: "mutation", Min: 0.01, Max: 0.3},
+		{Name: "crossover-gen", Min: 0.3, Max: 1.0},
+		{Name: "crossover-rg", Min: 0.01, Max: 0.3},
+		{Name: "crossover-accel", Min: 0.01, Max: 0.3},
+		{Name: "elite-ratio", Min: 0.05, Max: 0.5},
+	}
+}

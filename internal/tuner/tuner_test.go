@@ -1,0 +1,103 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTuneFindsQuadraticOptimum(t *testing.T) {
+	// Maximize -(x-0.7)^2 - (y-0.2)^2 over [0,1]^2.
+	space := []Param{{Name: "x", Min: 0, Max: 1}, {Name: "y", Min: 0, Max: 1}}
+	obj := func(p []float64) float64 {
+		return -(p[0]-0.7)*(p[0]-0.7) - (p[1]-0.2)*(p[1]-0.2)
+	}
+	res, err := Tune(space, obj, Config{InitRandom: 10, Iterations: 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Best[0]-0.7) > 0.15 || math.Abs(res.Best[1]-0.2) > 0.15 {
+		t.Errorf("best = %v, want near (0.7, 0.2)", res.Best)
+	}
+	if len(res.History) != 50 {
+		t.Errorf("history = %d trials, want 50", len(res.History))
+	}
+}
+
+func TestTuneBeatsRandomOnAverage(t *testing.T) {
+	// SMBO must find a better point than its own random-init phase on a
+	// narrow-peak function.
+	space := []Param{{Name: "x", Min: 0, Max: 1}}
+	obj := func(p []float64) float64 {
+		return math.Exp(-50 * (p[0] - 0.33) * (p[0] - 0.33))
+	}
+	res, err := Tune(space, obj, Config{InitRandom: 5, Iterations: 30}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var initBest float64
+	for _, tr := range res.History[:5] {
+		if tr.Score > initBest {
+			initBest = tr.Score
+		}
+	}
+	if res.BestScore < initBest {
+		t.Errorf("final best %g below init best %g", res.BestScore, initBest)
+	}
+	if res.BestScore < 0.5 {
+		t.Errorf("best score %g: did not approach the peak", res.BestScore)
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	if _, err := Tune(nil, func([]float64) float64 { return 0 }, Config{}, 1); err == nil {
+		t.Error("empty space accepted")
+	}
+	bad := []Param{{Name: "x", Min: 1, Max: 1}}
+	if _, err := Tune(bad, func([]float64) float64 { return 0 }, Config{}, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestTuneRespectsBounds(t *testing.T) {
+	space := []Param{{Name: "x", Min: 2, Max: 3}, {Name: "y", Min: -1, Max: 0}}
+	obj := func(p []float64) float64 { return p[0] + p[1] }
+	res, err := Tune(space, obj, Config{InitRandom: 4, Iterations: 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.History {
+		if tr.Point[0] < 2 || tr.Point[0] > 3 || tr.Point[1] < -1 || tr.Point[1] > 0 {
+			t.Fatalf("trial %v escaped bounds", tr.Point)
+		}
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// No uncertainty: EI is the plain improvement.
+	if got := expectedImprovement(5, 0, 3); got != 2 {
+		t.Errorf("EI(5,0,3) = %g, want 2", got)
+	}
+	if got := expectedImprovement(1, 0, 3); got != 0 {
+		t.Errorf("EI(1,0,3) = %g, want 0", got)
+	}
+	// Uncertainty adds exploration value even below the incumbent.
+	if got := expectedImprovement(2.9, 1.0, 3); got <= 0 {
+		t.Errorf("EI with sigma = %g, want > 0", got)
+	}
+	// EI grows with sigma.
+	if expectedImprovement(3, 2, 3) <= expectedImprovement(3, 1, 3) {
+		t.Error("EI not increasing in sigma")
+	}
+}
+
+func TestMAGMASpace(t *testing.T) {
+	space := MAGMASpace()
+	if len(space) != 5 {
+		t.Fatalf("MAGMASpace has %d params", len(space))
+	}
+	for _, p := range space {
+		if !(p.Max > p.Min) || p.Name == "" {
+			t.Errorf("bad param %+v", p)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package workload builds multi-tenant batched-job workloads (§III,
+// §VI-A2). A job is a mini-batch of one layer — a batch of activations
+// plus the layer's weights — belonging to one of the independent models
+// running on the system. A light-weight host-side control program chops
+// the queued jobs into dependency-free groups; the mapper schedules one
+// group at a time.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"magma/internal/layer"
+	"magma/internal/models"
+)
+
+// Job is one schedulable unit: a mini-batch of a single DNN layer.
+type Job struct {
+	ID    int         // index within its group
+	Model string      // owning model, e.g. "ResNet50"
+	Task  models.Task // task class of the owning model
+	Layer layer.Layer // layer dimensions
+	Batch int         // mini-batch size
+}
+
+// FLOPs returns the total floating-point work of the job.
+func (j Job) FLOPs() int64 { return int64(j.Batch) * j.Layer.FLOPs() }
+
+// Group is a dependency-free set of jobs scheduled together.
+type Group struct {
+	Index int
+	Jobs  []Job
+}
+
+// TotalFLOPs sums the work across the group.
+func (g Group) TotalFLOPs() int64 {
+	var sum int64
+	for _, j := range g.Jobs {
+		sum += j.FLOPs()
+	}
+	return sum
+}
+
+// Validate checks job numbering and layer sanity.
+func (g Group) Validate() error {
+	if len(g.Jobs) == 0 {
+		return fmt.Errorf("workload: group %d is empty", g.Index)
+	}
+	for i, j := range g.Jobs {
+		if j.ID != i {
+			return fmt.Errorf("workload: group %d job %d has ID %d", g.Index, i, j.ID)
+		}
+		if j.Batch <= 0 {
+			return fmt.Errorf("workload: group %d job %d has batch %d", g.Index, i, j.Batch)
+		}
+		if err := j.Layer.Validate(); err != nil {
+			return fmt.Errorf("workload: group %d job %d: %w", g.Index, i, err)
+		}
+	}
+	return nil
+}
+
+// Workload is a named sequence of groups drawn from one task class.
+type Workload struct {
+	Name   string
+	Task   models.Task
+	Groups []Group
+}
+
+// Validate checks every group.
+func (w Workload) Validate() error {
+	if len(w.Groups) == 0 {
+		return fmt.Errorf("workload %q: no groups", w.Name)
+	}
+	for i, g := range w.Groups {
+		if g.Index != i {
+			return fmt.Errorf("workload %q: group %d has index %d", w.Name, i, g.Index)
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("workload %q: %w", w.Name, err)
+		}
+	}
+	return nil
+}
+
+// NumJobs counts jobs across all groups.
+func (w Workload) NumJobs() int {
+	n := 0
+	for _, g := range w.Groups {
+		n += len(g.Jobs)
+	}
+	return n
+}
+
+// Config parameterizes the benchmark generator.
+type Config struct {
+	Task      models.Task
+	NumJobs   int   // total jobs to draw (rounded up to whole models)
+	GroupSize int   // jobs per dependency-free group (default 100, §VI-A2)
+	Seed      int64 // deterministic generator seed
+}
+
+// DefaultGroupSize is the benchmark's group size (§VI-A2).
+const DefaultGroupSize = 100
+
+// batchFor draws the mini-batch size for a job of the given task.
+// Batched-job inference runs hundreds-to-thousands of activations per
+// model, broken into mini-batches (§III). Vision mini-batches are
+// moderate; language jobs carry their sequence dimension inside the
+// layer, and recommendation queries arrive nearly per-query — which is
+// what makes their tiny-MLP jobs so bandwidth-hungry in Fig. 7 (weights
+// barely amortize across the batch).
+func batchFor(t models.Task, r *rand.Rand) int {
+	switch t {
+	case models.Vision:
+		return 2 << r.Intn(3) // 2, 4, 8
+	case models.Language, models.Recommendation:
+		return 1 << r.Intn(3) // 1, 2, 4
+	default:
+		return 1
+	}
+}
+
+// Generate builds a workload: it repeatedly picks a model from the
+// task's pool, enqueues all of that model's layers as jobs (a batched
+// inference stream), shuffles the pool of queued jobs (multi-tenancy
+// makes them dependency-free, §III), and chops them into groups.
+func Generate(cfg Config) (Workload, error) {
+	if cfg.NumJobs <= 0 {
+		return Workload{}, fmt.Errorf("workload: NumJobs = %d", cfg.NumJobs)
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = DefaultGroupSize
+	}
+	pool := models.Pool(cfg.Task)
+	if len(pool) == 0 {
+		return Workload{}, fmt.Errorf("workload: empty model pool for task %v", cfg.Task)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Multi-tenancy means the queued pool always interleaves several
+	// concurrent model streams (§III): draw at least minStreams model
+	// instances even when few jobs are requested, then sample the group
+	// from the shuffled pool.
+	const minStreams = 4
+	var jobs []Job
+	streams := 0
+	for len(jobs) < cfg.NumJobs || streams < minStreams {
+		m := pool[r.Intn(len(pool))]
+		task, err := models.TaskOf(m.Name)
+		if err != nil {
+			return Workload{}, err
+		}
+		batch := batchFor(task, r)
+		for _, l := range m.Layers {
+			jobs = append(jobs, Job{Model: m.Name, Task: task, Layer: l, Batch: batch})
+		}
+		streams++
+	}
+	r.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	if len(jobs) > cfg.NumJobs && cfg.NumJobs >= cfg.GroupSize {
+		// Trim the shuffled pool to whole groups' worth of jobs, keeping
+		// the requested total.
+		jobs = jobs[:cfg.NumJobs]
+	}
+
+	w := Workload{
+		Name: fmt.Sprintf("%s-n%d-g%d-s%d", cfg.Task, cfg.NumJobs, cfg.GroupSize, cfg.Seed),
+		Task: cfg.Task,
+	}
+	for start := 0; start+cfg.GroupSize <= len(jobs); start += cfg.GroupSize {
+		g := Group{Index: len(w.Groups)}
+		for i, j := range jobs[start : start+cfg.GroupSize] {
+			j.ID = i
+			g.Jobs = append(g.Jobs, j)
+		}
+		w.Groups = append(w.Groups, g)
+	}
+	if len(w.Groups) == 0 { // fewer jobs than one group: keep what we have
+		g := Group{Index: 0}
+		for i, j := range jobs {
+			j.ID = i
+			g.Jobs = append(g.Jobs, j)
+		}
+		w.Groups = []Group{g}
+	}
+	return w, nil
+}
+
+// jobJSON is the interchange form mirroring the paper's "description of
+// jobs" table (Fig. 1): job id, model, type, shape, batch.
+type jobJSON struct {
+	ID    int    `json:"id"`
+	Model string `json:"model"`
+	Task  string `json:"task"`
+	Kind  string `json:"kind"`
+	Name  string `json:"layer"`
+	Shape [7]int `json:"shape"` // K,C,Y,X,R,S,stride
+	Batch int    `json:"batch"`
+}
+
+type groupJSON struct {
+	Index int       `json:"index"`
+	Jobs  []jobJSON `json:"jobs"`
+}
+
+type workloadJSON struct {
+	Name   string      `json:"name"`
+	Task   string      `json:"task"`
+	Groups []groupJSON `json:"groups"`
+}
+
+// WriteJSON serializes the workload as the job-description format.
+func (w Workload) WriteJSON(out io.Writer) error {
+	doc := workloadJSON{Name: w.Name, Task: w.Task.String()}
+	for _, g := range w.Groups {
+		gj := groupJSON{Index: g.Index}
+		for _, j := range g.Jobs {
+			gj.Jobs = append(gj.Jobs, jobJSON{
+				ID: j.ID, Model: j.Model, Task: j.Task.String(),
+				Kind: j.Layer.Kind.String(), Name: j.Layer.Name,
+				Shape: [7]int{j.Layer.K, j.Layer.C, j.Layer.Y, j.Layer.X, j.Layer.R, j.Layer.S, j.Layer.Stride},
+				Batch: j.Batch,
+			})
+		}
+		doc.Groups = append(doc.Groups, gj)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a workload previously written by WriteJSON.
+func ReadJSON(in io.Reader) (Workload, error) {
+	var doc workloadJSON
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		return Workload{}, fmt.Errorf("workload: decoding JSON: %w", err)
+	}
+	task, err := models.ParseTask(doc.Task)
+	if err != nil {
+		return Workload{}, err
+	}
+	w := Workload{Name: doc.Name, Task: task}
+	for _, gj := range doc.Groups {
+		g := Group{Index: gj.Index}
+		for _, jj := range gj.Jobs {
+			jt, err := models.ParseTask(jj.Task)
+			if err != nil {
+				return Workload{}, err
+			}
+			var kind layer.Kind
+			switch jj.Kind {
+			case "CONV":
+				kind = layer.Conv2D
+			case "DWCONV":
+				kind = layer.DepthwiseConv
+			case "FC":
+				kind = layer.FC
+			default:
+				return Workload{}, fmt.Errorf("workload: unknown layer kind %q", jj.Kind)
+			}
+			g.Jobs = append(g.Jobs, Job{
+				ID: jj.ID, Model: jj.Model, Task: jt,
+				Layer: layer.Layer{
+					Name: jj.Name, Kind: kind,
+					K: jj.Shape[0], C: jj.Shape[1], Y: jj.Shape[2], X: jj.Shape[3],
+					R: jj.Shape[4], S: jj.Shape[5], Stride: jj.Shape[6],
+				},
+				Batch: jj.Batch,
+			})
+		}
+		w.Groups = append(w.Groups, g)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}

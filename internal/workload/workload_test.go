@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"magma/internal/models"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	for _, task := range models.Tasks() {
+		t.Run(task.String(), func(t *testing.T) {
+			w, err := Generate(Config{Task: task, NumJobs: 500, GroupSize: 100, Seed: 1})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if err := w.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if len(w.Groups) < 5 {
+				t.Errorf("groups = %d, want >= 5", len(w.Groups))
+			}
+			for _, g := range w.Groups {
+				if len(g.Jobs) != 100 {
+					t.Errorf("group %d size = %d, want 100", g.Index, len(g.Jobs))
+				}
+				if g.TotalFLOPs() <= 0 {
+					t.Errorf("group %d has no work", g.Index)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Task: models.Mix, NumJobs: 300, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Task: models.Mix, NumJobs: 300, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different workloads")
+	}
+	c, err := Generate(Config{Task: models.Mix, NumJobs: 300, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Groups[0], c.Groups[0]) {
+		t.Error("different seeds produced identical first groups")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	w, err := Generate(Config{Task: models.Vision, NumJobs: 250, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range w.Groups {
+		if len(g.Jobs) != DefaultGroupSize {
+			t.Errorf("default group size = %d, want %d", len(g.Jobs), DefaultGroupSize)
+		}
+	}
+	if _, err := Generate(Config{Task: models.Vision, NumJobs: 0}); err == nil {
+		t.Error("NumJobs=0 accepted")
+	}
+}
+
+func TestSmallWorkloadSingleGroup(t *testing.T) {
+	// Fewer jobs than one group: everything lands in group 0.
+	w, err := Generate(Config{Task: models.Recommendation, NumJobs: 3, GroupSize: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(w.Groups))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskPurity(t *testing.T) {
+	w, err := Generate(Config{Task: models.Language, NumJobs: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range w.Groups {
+		for _, j := range g.Jobs {
+			if j.Task != models.Language {
+				t.Fatalf("language workload contains %v job from %s", j.Task, j.Model)
+			}
+		}
+	}
+	// Mix must contain at least two distinct task classes.
+	m, err := Generate(Config{Task: models.Mix, NumJobs: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[models.Task]bool{}
+	for _, g := range m.Groups {
+		for _, j := range g.Jobs {
+			seen[j.Task] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Errorf("mix workload tasks = %v, want all three", seen)
+	}
+}
+
+func TestBatchRanges(t *testing.T) {
+	w, err := Generate(Config{Task: models.Mix, NumJobs: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range w.Groups {
+		for _, j := range g.Jobs {
+			var lo, hi int
+			switch j.Task {
+			case models.Vision:
+				lo, hi = 2, 8
+			case models.Language, models.Recommendation:
+				lo, hi = 1, 4
+			}
+			if j.Batch < lo || j.Batch > hi {
+				t.Fatalf("%v job batch %d outside [%d,%d]", j.Task, j.Batch, lo, hi)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w, err := Generate(Config{Task: models.Mix, NumJobs: 150, GroupSize: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(w, got) {
+		t.Error("JSON round trip mutated workload")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","task":"Nope","groups":[]}`)); err == nil {
+		t.Error("bad task accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","task":"Vision","groups":[{"index":0,"jobs":[{"id":0,"model":"m","task":"Vision","kind":"BOGUS","layer":"l","shape":[1,1,1,1,1,1,1],"batch":1}]}]}`)); err == nil {
+		t.Error("bad layer kind accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	w, err := Generate(Config{Task: models.Vision, NumJobs: 120, GroupSize: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Groups[0].Jobs[3].ID = 99
+	if err := w.Validate(); err == nil {
+		t.Error("misnumbered job accepted")
+	}
+	w, _ = Generate(Config{Task: models.Vision, NumJobs: 120, GroupSize: 60, Seed: 2})
+	w.Groups[0].Jobs[0].Batch = 0
+	if err := w.Validate(); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if err := (Workload{Name: "e"}).Validate(); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if err := (Group{Index: 0}).Validate(); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+// Property: for any seed and job count, generation succeeds, groups are
+// exactly GroupSize (except the single-group fallback), and job FLOPs
+// are positive.
+func TestQuickGenerateInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, gRaw uint8) bool {
+		n := 1 + int(nRaw)     // 1..256 jobs
+		gs := 4 + int(gRaw)%60 // 4..63 group size
+		task := models.Tasks()[int(uint64(seed)%4)]
+		w, err := Generate(Config{Task: task, NumJobs: n, GroupSize: gs, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		for _, g := range w.Groups {
+			for _, j := range g.Jobs {
+				if j.FLOPs() <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

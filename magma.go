@@ -1,0 +1,301 @@
+// Package magma reproduces "MAGMA: An Optimization Framework for Mapping
+// Multiple DNNs on Multiple Accelerator Cores" (Kao & Krishna, HPCA 2022)
+// as a self-contained Go library.
+//
+// The package is the public facade over the full system:
+//
+//   - M3E, the optimization framework (§IV): job analyzer + analytical
+//     accelerator cost model, mapping encoding, bandwidth allocator, and
+//     throughput/latency/energy/EDP objectives;
+//   - MAGMA, the genetic mapping algorithm with domain-specific
+//     operators and warm start (§V);
+//   - every baseline of Table IV: Herald-like and AI-MT-like manual
+//     mappers, stdGA, DE, CMA-ES, TBPSA, PSO, random search, and the
+//     A2C / PPO2 reinforcement-learning mappers;
+//   - the Table III multi-core accelerator settings (S1–S6) and the
+//     benchmark workload generator (Vision / Lang / Recom / Mix).
+//
+// Quick start:
+//
+//	pf := magma.PlatformS2().WithBW(16)
+//	wl, _ := magma.GenerateWorkload(magma.WorkloadConfig{Task: magma.Mix, NumJobs: 100, Seed: 1})
+//	res, _ := magma.Optimize(wl.Groups[0], pf, magma.Options{Mapper: "MAGMA", Budget: 10000, Seed: 1})
+//	fmt.Printf("%.1f GFLOP/s\n", res.ThroughputGFLOPs)
+//
+// The sub-packages under internal/ hold the implementation; everything a
+// downstream user needs is re-exported here.
+package magma
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"magma/internal/encoding"
+	"magma/internal/heuristics"
+	"magma/internal/m3e"
+	"magma/internal/models"
+	"magma/internal/opt/cmaes"
+	"magma/internal/opt/de"
+	"magma/internal/opt/ga"
+	optmagma "magma/internal/opt/magma"
+	"magma/internal/opt/pso"
+	"magma/internal/opt/random"
+	"magma/internal/opt/rl"
+	"magma/internal/opt/tbpsa"
+	"magma/internal/platform"
+	"magma/internal/sim"
+	"magma/internal/workload"
+)
+
+// Task identifies a benchmark task class (§VI-A2).
+type Task = models.Task
+
+// Task classes.
+const (
+	Vision         = models.Vision
+	Language       = models.Language
+	Recommendation = models.Recommendation
+	Mix            = models.Mix
+)
+
+// Platform is a multi-core accelerator (sub-accelerators sharing one
+// system bandwidth).
+type Platform = platform.Platform
+
+// Table III settings (each at its paper-default system bandwidth; use
+// WithBW to sweep).
+func PlatformS1() Platform { return platform.S1() }
+func PlatformS2() Platform { return platform.S2() }
+func PlatformS3() Platform { return platform.S3() }
+func PlatformS4() Platform { return platform.S4() }
+func PlatformS5() Platform { return platform.S5() }
+func PlatformS6() Platform { return platform.S6() }
+
+// PlatformBySetting resolves "S1".."S6".
+func PlatformBySetting(id string) (Platform, error) { return platform.BySetting(id) }
+
+// Workload types.
+type (
+	// Workload is a generated stream of dependency-free job groups.
+	Workload = workload.Workload
+	// Group is one dependency-free set of jobs scheduled together.
+	Group = workload.Group
+	// Job is a mini-batch of one DNN layer.
+	Job = workload.Job
+	// WorkloadConfig parameterizes the benchmark generator.
+	WorkloadConfig = workload.Config
+)
+
+// GenerateWorkload builds a benchmark workload (§VI-A2).
+func GenerateWorkload(cfg WorkloadConfig) (Workload, error) { return workload.Generate(cfg) }
+
+// ReadWorkloadJSON parses a workload written by Workload.WriteJSON.
+func ReadWorkloadJSON(r io.Reader) (Workload, error) { return workload.ReadJSON(r) }
+
+// ModelNames lists the DNN model zoo.
+func ModelNames() []string { return models.Names() }
+
+// Objective selects what Optimize maximizes.
+type Objective = m3e.Objective
+
+// Objectives (§IV-C).
+const (
+	Throughput = m3e.Throughput
+	Latency    = m3e.Latency
+	Energy     = m3e.Energy
+	EDP        = m3e.EDP
+)
+
+// Options configures one mapping search.
+type Options struct {
+	// Mapper selects the algorithm by its Table IV name: "MAGMA",
+	// "stdGA", "DE", "CMA", "TBPSA", "PSO", "Random", "RL A2C",
+	// "RL PPO2", "Herald-like", or "AI-MT-like". Empty means MAGMA.
+	Mapper string
+	// Objective defaults to Throughput.
+	Objective Objective
+	// Budget is the sampling budget for search mappers (default 10000,
+	// §VI-B). Ignored by the manual heuristics.
+	Budget int
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// WarmStart seeds MAGMA's initial population with previously found
+	// schedules of the same group size (§V-C). Ignored by other mappers.
+	WarmStart []Schedule
+}
+
+// Schedule is a found global mapping together with its evaluation.
+type Schedule struct {
+	// Mapping holds the per-core ordered job queues.
+	Mapping sim.Mapping
+	// Genome is the encoded form (usable as a warm-start seed).
+	Genome encoding.Genome
+	// ThroughputGFLOPs, Makespan and Energy evaluate the schedule.
+	ThroughputGFLOPs float64
+	MakespanCycles   float64
+	EnergyUnits      float64
+	// Fitness is the score under the requested objective.
+	Fitness float64
+	// Curve is the best-so-far fitness per consumed sample (empty for
+	// the manual heuristics).
+	Curve []float64
+	// Mapper names the algorithm that produced the schedule.
+	Mapper string
+}
+
+// MapperNames lists the supported Options.Mapper values in Table IV
+// order.
+func MapperNames() []string {
+	return []string{
+		"Herald-like", "AI-MT-like", "PSO", "CMA", "DE", "TBPSA",
+		"stdGA", "RL A2C", "RL PPO2", "Random", "MAGMA",
+	}
+}
+
+func newOptimizer(name string) (m3e.Optimizer, error) {
+	switch name {
+	case "", "MAGMA":
+		return optmagma.New(optmagma.Config{}), nil
+	case "stdGA":
+		return ga.New(ga.Config{}), nil
+	case "DE":
+		return de.New(de.Config{}), nil
+	case "CMA":
+		return cmaes.New(cmaes.Config{}), nil
+	case "TBPSA":
+		return tbpsa.New(tbpsa.Config{}), nil
+	case "PSO":
+		return pso.New(pso.Config{}), nil
+	case "Random":
+		return random.New(0), nil
+	case "RL A2C":
+		return rl.NewA2C(rl.A2CConfig{}), nil
+	case "RL PPO2":
+		return rl.NewPPO(rl.PPOConfig{}), nil
+	}
+	return nil, fmt.Errorf("magma: unknown mapper %q (known: %v)", name, MapperNames())
+}
+
+// Optimize searches for a mapping of the group onto the platform and
+// returns the best schedule found.
+func Optimize(g Group, p Platform, opts Options) (Schedule, error) {
+	prob, err := m3e.NewProblem(g, p, opts.Objective)
+	if err != nil {
+		return Schedule{}, err
+	}
+	switch opts.Mapper {
+	case "Herald-like", "AI-MT-like":
+		var mapper heuristics.Mapper = heuristics.HeraldLike{}
+		if opts.Mapper == "AI-MT-like" {
+			mapper = heuristics.AIMTLike{}
+		}
+		mapping, err := mapper.Map(prob.Table)
+		if err != nil {
+			return Schedule{}, err
+		}
+		return finishSchedule(prob, mapping, encoding.Genome{}, nil, mapper.Name(), opts.Objective)
+	}
+	opt, err := newOptimizer(opts.Mapper)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if len(opts.WarmStart) > 0 {
+		if seeder, ok := opt.(m3e.Seeder); ok {
+			seeds := make([]encoding.Genome, 0, len(opts.WarmStart))
+			for _, s := range opts.WarmStart {
+				if s.Genome.NumJobs() == len(g.Jobs) {
+					seeds = append(seeds, s.Genome)
+				}
+			}
+			seeder.Seed(seeds)
+		}
+	}
+	res, err := m3e.Run(prob, opt, m3e.Options{Budget: opts.Budget}, opts.Seed)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return finishSchedule(prob, res.BestMapping(prob.NumAccels()), res.Best, res.Curve, res.Method, opts.Objective)
+}
+
+func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Genome, curve []float64, mapper string, obj Objective) (Schedule, error) {
+	fit, simRes, err := prob.EvaluateMapping(mapping)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return Schedule{
+		Mapping:          mapping,
+		Genome:           genome,
+		ThroughputGFLOPs: simRes.ThroughputGFLOPs,
+		MakespanCycles:   simRes.TotalCycles,
+		EnergyUnits:      simRes.Energy,
+		Fitness:          fit,
+		Curve:            curve,
+		Mapper:           mapper,
+	}, nil
+}
+
+// Compare runs several mappers on the same group and platform and
+// returns their schedules sorted best-fitness-first. Mapper names as in
+// Options.Mapper; an empty list means every Table IV method.
+func Compare(g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
+	if len(mappers) == 0 {
+		mappers = MapperNames()
+	}
+	out := make([]Schedule, 0, len(mappers))
+	for i, name := range mappers {
+		o := opts
+		o.Mapper = name
+		o.Seed = opts.Seed + int64(i)
+		s, err := Optimize(g, p, o)
+		if err != nil {
+			return nil, fmt.Errorf("magma: mapper %s: %w", name, err)
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Fitness > out[j].Fitness })
+	return out, nil
+}
+
+// RenderSchedule writes an ASCII Gantt-style visualization of a
+// schedule (the Fig. 15 view) to w.
+func RenderSchedule(w io.Writer, g Group, p Platform, s Schedule, cols int) error {
+	prob, err := m3e.NewProblem(g, p, Throughput)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(prob.Table, s.Mapping, sim.Options{CaptureFrames: true})
+	if err != nil {
+		return err
+	}
+	return sim.RenderGantt(w, prob.Table, res, cols)
+}
+
+// WarmStore accumulates solved schedules per task type and seeds future
+// searches of the same type (§V-C).
+type WarmStore struct {
+	inner *optmagma.WarmStore
+}
+
+// NewWarmStore builds a store keeping up to limit schedules per task
+// (limit <= 0 means 8).
+func NewWarmStore(limit int) *WarmStore {
+	return &WarmStore{inner: optmagma.NewWarmStore(limit)}
+}
+
+// Record remembers a solved schedule for the task type.
+func (w *WarmStore) Record(task Task, s Schedule) { w.inner.Record(task, s.Genome) }
+
+// Known reports whether the store has seen the task type.
+func (w *WarmStore) Known(task Task) bool { return w.inner.Known(task) }
+
+// Seeds returns warm-start seeds compatible with a new group of the
+// given size, newest first.
+func (w *WarmStore) Seeds(task Task, groupSize int) []Schedule {
+	gs := w.inner.SeedsFor(task, groupSize)
+	out := make([]Schedule, len(gs))
+	for i, g := range gs {
+		out[i] = Schedule{Genome: g}
+	}
+	return out
+}

@@ -1,0 +1,6 @@
+package magma_test
+
+import "math/rand"
+
+// newRand builds a deterministic RNG for tests and benchmarks.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

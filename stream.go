@@ -1,0 +1,118 @@
+package magma
+
+import (
+	"fmt"
+
+	"magma/internal/m3e"
+	optmagma "magma/internal/opt/magma"
+)
+
+// StreamOptions configures OptimizeStream.
+type StreamOptions struct {
+	// Mapper as in Options (default MAGMA).
+	Mapper string
+	// Objective defaults to Throughput.
+	Objective Objective
+	// BudgetPerGroup is the sampling budget spent on each group
+	// (default 10000 / number of groups, at least 20 generations).
+	BudgetPerGroup int
+	// Seed drives all randomness.
+	Seed int64
+	// WarmStart chains groups: each group's search is seeded with the
+	// best schedules of earlier groups of the same task type (§V-C).
+	// Only effective for MAGMA.
+	WarmStart bool
+}
+
+// StreamResult aggregates a scheduled workload stream.
+type StreamResult struct {
+	// Schedules holds one schedule per group, in order.
+	Schedules []Schedule
+	// TotalGFLOPs is the stream's total work.
+	TotalGFLOPs float64
+	// TotalSeconds is the summed group makespans (groups are dependency
+	// barriers: the host launches the next group when one finishes).
+	TotalSeconds float64
+	// ThroughputGFLOPs is the aggregate stream throughput.
+	ThroughputGFLOPs float64
+}
+
+// OptimizeStream schedules every group of a workload in sequence — the
+// deployment loop of the multi-tenant system (Fig. 1): the host chops
+// the job queue into dependency-free groups, and the mapper places each
+// group, optionally warm-starting from previously solved groups.
+func OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, error) {
+	if len(wl.Groups) == 0 {
+		return StreamResult{}, fmt.Errorf("magma: workload has no groups")
+	}
+	store := NewWarmStore(0)
+	var res StreamResult
+	var totalFLOPs int64
+	for gi, g := range wl.Groups {
+		budget := opts.BudgetPerGroup
+		if budget <= 0 {
+			budget = m3e.DefaultBudget / len(wl.Groups)
+		}
+		if floor := 20 * len(g.Jobs); budget < floor {
+			budget = floor
+		}
+		o := Options{
+			Mapper:    opts.Mapper,
+			Objective: opts.Objective,
+			Budget:    budget,
+			Seed:      opts.Seed + int64(gi),
+		}
+		if opts.WarmStart {
+			o.WarmStart = store.Seeds(wl.Task, len(g.Jobs))
+		}
+		s, err := Optimize(g, p, o)
+		if err != nil {
+			return StreamResult{}, fmt.Errorf("magma: group %d: %w", gi, err)
+		}
+		if opts.WarmStart && s.Genome.NumJobs() == len(g.Jobs) {
+			store.Record(wl.Task, s)
+		}
+		res.Schedules = append(res.Schedules, s)
+		totalFLOPs += g.TotalFLOPs()
+		res.TotalSeconds += s.MakespanCycles / clockHz()
+	}
+	res.TotalGFLOPs = float64(totalFLOPs) / 1e9
+	if res.TotalSeconds > 0 {
+		res.ThroughputGFLOPs = res.TotalGFLOPs / res.TotalSeconds
+	}
+	return res, nil
+}
+
+// clockHz exposes the platform clock for cycle-to-time conversion.
+func clockHz() float64 { return platformClockHz }
+
+// Tune searches MAGMA's hyper-parameter space (operator rates and elite
+// ratio, §V-B3) for one problem instance with the SMBO tuner and
+// returns the best configuration found as (mutation, crossover-gen,
+// crossover-rg, crossover-accel, elite-ratio) plus its fitness.
+func Tune(g Group, p Platform, budget int, trials int, seed int64) ([]float64, float64, error) {
+	prob, err := m3e.NewProblem(g, p, Throughput)
+	if err != nil {
+		return nil, 0, err
+	}
+	space := tunerSpace()
+	obj := func(pt []float64) float64 {
+		cfg := optmagma.Config{
+			MutationRate:       pt[0],
+			CrossoverGenRate:   pt[1],
+			CrossoverRGRate:    pt[2],
+			CrossoverAccelRate: pt[3],
+			EliteRatio:         pt[4],
+		}
+		res, err := m3e.Run(prob, optmagma.New(cfg), m3e.Options{Budget: budget}, seed)
+		if err != nil {
+			return 0
+		}
+		return res.BestFitness
+	}
+	res, err := runTuner(space, obj, trials, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Best, res.BestScore, nil
+}

@@ -1,0 +1,71 @@
+package magma
+
+import (
+	"testing"
+)
+
+func TestOptimizeStream(t *testing.T) {
+	wl, err := GenerateWorkload(WorkloadConfig{Task: Mix, NumJobs: 48, GroupSize: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeStream(wl, PlatformS2(), StreamOptions{
+		BudgetPerGroup: 100, Seed: 1, WarmStart: true,
+	})
+	if err != nil {
+		t.Fatalf("OptimizeStream: %v", err)
+	}
+	if len(res.Schedules) != len(wl.Groups) {
+		t.Errorf("schedules = %d, want %d", len(res.Schedules), len(wl.Groups))
+	}
+	if res.ThroughputGFLOPs <= 0 || res.TotalSeconds <= 0 || res.TotalGFLOPs <= 0 {
+		t.Errorf("degenerate stream result: %+v", res)
+	}
+	// Aggregate consistency: throughput = work / time.
+	if got := res.TotalGFLOPs / res.TotalSeconds; got != res.ThroughputGFLOPs {
+		t.Errorf("throughput %g != work/time %g", res.ThroughputGFLOPs, got)
+	}
+}
+
+func TestOptimizeStreamHeuristic(t *testing.T) {
+	wl, err := GenerateWorkload(WorkloadConfig{Task: Vision, NumJobs: 32, GroupSize: 16, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeStream(wl, PlatformS1(), StreamOptions{Mapper: "Herald-like"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Schedules {
+		if s.Mapper != "Herald-like" {
+			t.Errorf("mapper = %s", s.Mapper)
+		}
+	}
+}
+
+func TestOptimizeStreamEmpty(t *testing.T) {
+	if _, err := OptimizeStream(Workload{}, PlatformS1(), StreamOptions{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestTune(t *testing.T) {
+	g := testGroup(t, Mix, 16)
+	best, score, err := Tune(g, PlatformS2(), 64, 8, 1)
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if len(best) != 5 {
+		t.Fatalf("best = %v, want 5 params", best)
+	}
+	if score <= 0 {
+		t.Errorf("score = %g", score)
+	}
+	// Parameters must respect the documented space bounds.
+	bounds := [][2]float64{{0.01, 0.3}, {0.3, 1.0}, {0.01, 0.3}, {0.01, 0.3}, {0.05, 0.5}}
+	for i, b := range bounds {
+		if best[i] < b[0] || best[i] > b[1] {
+			t.Errorf("param %d = %g outside [%g,%g]", i, best[i], b[0], b[1])
+		}
+	}
+}
