@@ -162,8 +162,29 @@ func BenchmarkAblationObjective(b *testing.B) {
 // --- Micro-benchmarks of the hot paths ---
 
 // BenchmarkEvaluate measures single-mapping fitness evaluation — the
-// unit of the 10K-sample budget.
+// unit of the 10K-sample budget — on the steady-state hot path: one
+// reused Evaluator, as each worker of the parallel engine runs it.
+// Target: 0 allocs/op (see DESIGN.md "Hot path").
 func BenchmarkEvaluate(b *testing.B) {
+	prob := benchProblem(b, models.Mix, 100, platform.S2().WithBW(16))
+	g := encoding.Random(100, prob.NumAccels(), newRand(1))
+	ev := prob.NewEvaluator()
+	if _, err := ev.Evaluate(g); err != nil { // warm up scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateFresh measures the same evaluation through the
+// allocating convenience path (fresh scratch per call) — the before
+// side of the zero-allocation rework.
+func BenchmarkEvaluateFresh(b *testing.B) {
 	prob := benchProblem(b, models.Mix, 100, platform.S2().WithBW(16))
 	g := encoding.Random(100, prob.NumAccels(), newRand(1))
 	b.ReportAllocs()
@@ -193,35 +214,50 @@ func BenchmarkAnalyzerBuild(b *testing.B) {
 }
 
 // BenchmarkMAGMAGeneration measures one full MAGMA generation
-// (evaluate population + breed) at the paper's group size.
+// (evaluate population + breed) at the paper's group size, across
+// worker-pool widths. workers=1 is the serial baseline; the speedup at
+// workers=N is the parallel evaluation engine's payoff (bounded by the
+// machine's core count — see DESIGN.md for measured numbers).
 func BenchmarkMAGMAGeneration(b *testing.B) {
-	prob := benchProblem(b, models.Mix, 100, platform.S2().WithBW(16))
-	opt := optmagma.New(optmagma.Config{})
-	if err := opt.Init(prob, newRand(2)); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		pop := opt.Ask()
-		fit := make([]float64, len(pop))
-		for k, g := range pop {
-			f, err := prob.Evaluate(g)
-			if err != nil {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prob := benchProblem(b, models.Mix, 100, platform.S2().WithBW(16))
+			opt := optmagma.New(optmagma.Config{})
+			if err := opt.Init(prob, newRand(2)); err != nil {
 				b.Fatal(err)
 			}
-			fit[k] = f
-		}
-		opt.Tell(pop, fit)
+			pool := m3e.NewPool(prob, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pop := opt.Ask()
+				fit := make([]float64, len(pop))
+				pool.Evaluate(pop, fit)
+				opt.Tell(pop, fit)
+			}
+		})
 	}
 }
 
-// BenchmarkDecode measures genome decoding.
+// BenchmarkDecode measures genome decoding (allocating form).
 func BenchmarkDecode(b *testing.B) {
 	g := encoding.Random(100, 8, newRand(3))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		encoding.Decode(g, 8)
+	}
+}
+
+// BenchmarkDecodeInto measures the scratch-reusing decode the parallel
+// engine runs per evaluation.
+func BenchmarkDecodeInto(b *testing.B) {
+	g := encoding.Random(100, 8, newRand(3))
+	var m sim.Mapping
+	encoding.DecodeInto(g, 8, &m) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encoding.DecodeInto(g, 8, &m)
 	}
 }

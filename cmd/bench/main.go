@@ -1,0 +1,169 @@
+// Command bench measures the evaluation-engine hot paths and emits a
+// machine-readable BENCH_eval.json, so the perf trajectory (ns/op,
+// allocs/op, parallel speedup) can be tracked across PRs and compared
+// against the numbers recorded in DESIGN.md.
+//
+// Usage:
+//
+//	bench                  # writes BENCH_eval.json to the working dir
+//	bench -o results.json  # custom output path
+//	bench -benchtime 2s    # slower, steadier numbers
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/models"
+	optmagma "magma/internal/opt/magma"
+	"magma/internal/platform"
+	"magma/internal/sim"
+	"magma/internal/workload"
+)
+
+// newRand builds a deterministic RNG so the report is reproducible.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Measurement is one benchmark row of the JSON artifact.
+type Measurement struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the BENCH_eval.json schema.
+type Report struct {
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	GroupSize    int           `json:"group_size"`
+	Measurements []Measurement `json:"measurements"`
+	// SpeedupVsSerial is generation time at workers=1 divided by the
+	// best parallel generation time — the headline of the parallel
+	// evaluation engine (bounded by GOMAXPROCS).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+func measure(name string, f func(b *testing.B)) Measurement {
+	r := testing.Benchmark(f)
+	return Measurement{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_eval.json", "output path for the JSON report")
+		benchtime = flag.Duration("benchtime", time.Second, "target time per benchmark")
+	)
+	testing.Init() // registers test.* flags so benchtime is settable
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil { // consumed by testing.Benchmark
+		log.Fatal(err)
+	}
+
+	const groupSize = 100
+	w, err := workload.Generate(workload.Config{Task: models.Mix, NumJobs: groupSize, GroupSize: groupSize, Seed: 51})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob, err := m3e.NewProblem(w.Groups[0], platform.S2().WithBW(16), m3e.Throughput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := encoding.Random(groupSize, prob.NumAccels(), newRand(1))
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GroupSize:  groupSize,
+	}
+
+	ev := prob.NewEvaluator()
+	if _, err := ev.Evaluate(g); err != nil {
+		log.Fatal(err)
+	}
+	rep.Measurements = append(rep.Measurements, measure("Evaluate/steady", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Evaluate(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Measurements = append(rep.Measurements, measure("Evaluate/fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := prob.Evaluate(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Measurements = append(rep.Measurements, measure("DecodeInto", func(b *testing.B) {
+		var m sim.Mapping
+		encoding.DecodeInto(g, prob.NumAccels(), &m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			encoding.DecodeInto(g, prob.NumAccels(), &m)
+		}
+	}))
+
+	var serial, bestParallel float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		m := measure(fmt.Sprintf("MAGMAGeneration/workers=%d", workers), func(b *testing.B) {
+			opt := optmagma.New(optmagma.Config{})
+			if err := opt.Init(prob, newRand(2)); err != nil {
+				b.Fatal(err)
+			}
+			pool := m3e.NewPool(prob, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pop := opt.Ask()
+				fit := make([]float64, len(pop))
+				pool.Evaluate(pop, fit)
+				opt.Tell(pop, fit)
+			}
+		})
+		rep.Measurements = append(rep.Measurements, m)
+		if workers == 1 {
+			serial = m.NsPerOp
+		} else if bestParallel == 0 || m.NsPerOp < bestParallel {
+			bestParallel = m.NsPerOp
+		}
+	}
+	if bestParallel > 0 {
+		rep.SpeedupVsSerial = serial / bestParallel
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range rep.Measurements {
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+	fmt.Printf("parallel speedup vs serial: %.2fx (GOMAXPROCS=%d)\n", rep.SpeedupVsSerial, rep.GOMAXPROCS)
+	fmt.Printf("wrote %s\n", *out)
+}

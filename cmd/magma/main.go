@@ -31,6 +31,7 @@ func main() {
 		budget     = flag.Int("budget", 10000, "sampling budget for search mappers")
 		objective  = flag.String("objective", "throughput", "throughput | latency | energy | edp")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "parallel evaluation goroutines (0 = all cores; results are seed-reproducible at any worker count)")
 		gantt      = flag.Bool("gantt", false, "render the found schedule")
 		compare    = flag.Bool("compare", false, "run every Table IV mapper and print a leaderboard")
 		listMap    = flag.Bool("mappers", false, "list mapper names and exit")
@@ -63,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := magma.Options{Mapper: *mapper, Objective: obj, Budget: *budget, Seed: *seed}
+	opts := magma.Options{Mapper: *mapper, Objective: obj, Budget: *budget, Seed: *seed, Workers: *workers}
 
 	fmt.Printf("platform: %s\n", pf)
 	fmt.Printf("group:    %d jobs, %.3g total GFLOPs\n", len(group.Jobs), float64(group.TotalFLOPs())/1e9)

@@ -1,0 +1,3 @@
+module magma
+
+go 1.22

@@ -1,0 +1,65 @@
+package encoding
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"magma/internal/sim"
+)
+
+// TestDecodeIntoMatchesDecode reuses one scratch Mapping across random
+// genomes of varying shapes and checks each decode is identical to the
+// allocating Decode.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var scratch sim.Mapping
+	for i := 0; i < 200; i++ {
+		nJobs := 1 + r.Intn(60)
+		nAccels := 1 + r.Intn(8)
+		g := Random(nJobs, nAccels, r)
+		DecodeInto(g, nAccels, &scratch)
+		want := Decode(g, nAccels)
+		if !reflect.DeepEqual(normalize(scratch), normalize(want)) {
+			t.Fatalf("iter %d (%d jobs, %d accels):\n got %v\nwant %v", i, nJobs, nAccels, scratch.Queues, want.Queues)
+		}
+	}
+}
+
+// normalize maps empty queues to nil so buffer-reusing decodes compare
+// equal to fresh ones (Decode leaves untargeted queues nil, DecodeInto
+// leaves them len-0 slices).
+func normalize(m sim.Mapping) [][]int {
+	out := make([][]int, len(m.Queues))
+	for a, q := range m.Queues {
+		if len(q) > 0 {
+			out[a] = q
+		}
+	}
+	return out
+}
+
+// TestDecodeIntoTiesByJobID pins the tie rule: equal priorities decode
+// in ascending job ID order.
+func TestDecodeIntoTiesByJobID(t *testing.T) {
+	g := Genome{Accel: []int{0, 0, 0, 0}, Prio: []float64{0.5, 0.5, 0.1, 0.5}}
+	var m sim.Mapping
+	DecodeInto(g, 2, &m)
+	want := []int{2, 0, 1, 3}
+	if !reflect.DeepEqual(m.Queues[0], want) {
+		t.Fatalf("queue = %v, want %v", m.Queues[0], want)
+	}
+}
+
+// TestDecodeIntoZeroAlloc asserts the decode hot path stops allocating
+// once the scratch queues have grown.
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	g := Random(100, 8, r)
+	var m sim.Mapping
+	DecodeInto(g, 8, &m) // warm up
+	allocs := testing.AllocsPerRun(50, func() { DecodeInto(g, 8, &m) })
+	if allocs > 0 {
+		t.Errorf("steady-state DecodeInto allocates %.1f times, want 0", allocs)
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"magma/internal/sim"
 )
@@ -71,21 +70,49 @@ func Random(nJobs, nAccels int, r *rand.Rand) Genome {
 // core are sorted by ascending priority gene (ties by job ID, making the
 // decoding deterministic).
 func Decode(g Genome, nAccels int) sim.Mapping {
-	m := sim.Mapping{Queues: make([][]int, nAccels)}
+	var m sim.Mapping
+	DecodeInto(g, nAccels, &m)
+	return m
+}
+
+// DecodeInto decodes the genome into m, reusing m's queue buffers. It
+// produces exactly the mapping Decode returns, but steady-state — once
+// the queues have grown to the genome's per-core occupancy — it performs
+// zero heap allocations, which makes it the decode step of the parallel
+// evaluation engine (one scratch Mapping per worker).
+func DecodeInto(g Genome, nAccels int, m *sim.Mapping) {
+	if cap(m.Queues) >= nAccels {
+		m.Queues = m.Queues[:nAccels]
+	} else {
+		q := make([][]int, nAccels)
+		copy(q, m.Queues) // keep already-grown per-core buffers
+		m.Queues = q
+	}
+	for a := range m.Queues {
+		m.Queues[a] = m.Queues[a][:0]
+	}
 	for j, a := range g.Accel {
 		m.Queues[a] = append(m.Queues[a], j)
 	}
-	for a := range m.Queues {
-		q := m.Queues[a]
-		sort.SliceStable(q, func(x, y int) bool {
-			px, py := g.Prio[q[x]], g.Prio[q[y]]
-			if px != py {
-				return px < py
+	// Queues are filled in ascending job ID, so a stable insertion sort
+	// on the priority gene (ties by job ID) reproduces Decode's
+	// sort.SliceStable order without its closure/interface allocations.
+	for _, q := range m.Queues {
+		for i := 1; i < len(q); i++ {
+			j := q[i]
+			pj := g.Prio[j]
+			k := i - 1
+			for k >= 0 {
+				pk := g.Prio[q[k]]
+				if pk < pj || (pk == pj && q[k] < j) {
+					break
+				}
+				q[k+1] = q[k]
+				k--
 			}
-			return q[x] < q[y]
-		})
+			q[k+1] = j
+		}
 	}
-	return m
 }
 
 // ToVector flattens the genome into a continuous vector of length

@@ -31,6 +31,14 @@ type Config struct {
 	GroupSize int   // jobs per group (paper: 100)
 	RLHidden  int   // MLP width for the RL mappers (paper: 128)
 	Seed      int64 // base RNG seed
+	Workers   int   // parallel evaluation goroutines (0 = all cores)
+}
+
+// runOpts returns the m3e runner options for one search at the given
+// budget. Worker count changes wall-clock only, never results, so the
+// artifacts are reproducible at any parallelism.
+func (c Config) runOpts(budget int) m3e.Options {
+	return m3e.Options{Budget: budget, Workers: c.Workers}
 }
 
 // Quick returns the fast-suite configuration (CI-friendly).

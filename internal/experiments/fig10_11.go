@@ -50,7 +50,7 @@ func runFig10(c Config, w io.Writer) error {
 	}
 	var runs []explored
 	for mi, m := range methods {
-		res, err := m3e.Run(prob, m.NewOpt(), m3e.Options{Budget: c.Budget, RecordSamples: true}, c.Seed+int64(mi))
+		res, err := m3e.Run(prob, m.NewOpt(), m3e.Options{Budget: c.Budget, RecordSamples: true, Workers: c.Workers}, c.Seed+int64(mi))
 		if err != nil {
 			return err
 		}
@@ -59,7 +59,7 @@ func runFig10(c Config, w io.Writer) error {
 	// The "exhaustively sampled" best-effort reference: a larger random
 	// sweep (the paper used ~1M samples over two days; we scale it to
 	// 10x the method budget).
-	randRes, err := m3e.Run(prob, random.New(256), m3e.Options{Budget: 10 * c.Budget}, c.Seed+99)
+	randRes, err := m3e.Run(prob, random.New(256), m3e.Options{Budget: 10 * c.Budget, Workers: c.Workers}, c.Seed+99)
 	if err != nil {
 		return err
 	}
@@ -147,7 +147,7 @@ func runFig11(c Config, w io.Writer) error {
 			if m.Heuristic != nil {
 				continue // heuristics have no convergence curve
 			}
-			_, curve, err := RunMethod(prob, m, budget, c.Seed+int64(ci*100+mi))
+			_, curve, err := RunMethod(prob, m, c.runOpts(budget), c.Seed+int64(ci*100+mi))
 			if err != nil {
 				return err
 			}

@@ -56,7 +56,7 @@ func runFig12(c Config, w io.Writer) error {
 				return err
 			}
 			for mi, m := range fig12Methods {
-				fit, _, err := RunMethod(prob, m, c.Budget, c.Seed+int64(mi))
+				fit, _, err := RunMethod(prob, m, c.runOpts(c.Budget), c.Seed+int64(mi))
 				if err != nil {
 					return err
 				}
@@ -141,7 +141,7 @@ func runFig13(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{Budget: c.Budget}, c.Seed)
+			res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
 			if err != nil {
 				return err
 			}

@@ -89,7 +89,7 @@ func runFig14(c Config, w io.Writer) error {
 					if err != nil {
 						return 0, err
 					}
-					res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{Budget: c.Budget}, c.Seed)
+					res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
 					if err != nil {
 						return 0, err
 					}
@@ -131,7 +131,7 @@ func runFig15(c Config, w io.Writer) error {
 		return err
 	}
 	// MAGMA schedule.
-	mres, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{Budget: c.Budget}, c.Seed)
+	mres, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
 	if err != nil {
 		return err
 	}

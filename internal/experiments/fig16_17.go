@@ -63,7 +63,7 @@ func runFig16(c Config, w io.Writer) error {
 		for _, v := range variants {
 			sum := make([]float64, len(checkFracs))
 			for rep := 0; rep < repeats; rep++ {
-				res, err := m3e.Run(prob, optmagma.New(v.cfg), m3e.Options{Budget: c.Budget}, c.Seed+int64(rep))
+				res, err := m3e.Run(prob, optmagma.New(v.cfg), c.runOpts(c.Budget), c.Seed+int64(rep))
 				if err != nil {
 					return err
 				}
@@ -139,7 +139,7 @@ func runFig17(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{Budget: budgetPer}, c.Seed)
+			res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), c.runOpts(budgetPer), c.Seed)
 			if err != nil {
 				return err
 			}

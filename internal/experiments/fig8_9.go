@@ -30,7 +30,7 @@ func methodComparison(c Config, task models.Task, p platform.Platform, seedOffse
 	}
 	out := make(map[string]float64)
 	for mi, m := range Methods(c) {
-		fit, _, err := RunMethod(prob, m, c.Budget, c.Seed+int64(mi))
+		fit, _, err := RunMethod(prob, m, c.runOpts(c.Budget), c.Seed+int64(mi))
 		if err != nil {
 			return nil, err
 		}

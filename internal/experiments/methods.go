@@ -56,7 +56,8 @@ func MethodNames(c Config) []string {
 
 // RunMethod evaluates one method on a problem and returns its best
 // fitness (throughput) and, for search methods, the best-so-far curve.
-func RunMethod(prob *m3e.Problem, m Method, budget int, seed int64) (float64, []float64, error) {
+// Heuristics ignore the runner options (they consume no budget).
+func RunMethod(prob *m3e.Problem, m Method, opts m3e.Options, seed int64) (float64, []float64, error) {
 	if m.Heuristic != nil {
 		mapping, err := m.Heuristic.Map(prob.Table)
 		if err != nil {
@@ -68,7 +69,7 @@ func RunMethod(prob *m3e.Problem, m Method, budget int, seed int64) (float64, []
 		}
 		return fit, nil, nil
 	}
-	res, err := m3e.Run(prob, m.NewOpt(), m3e.Options{Budget: budget}, seed)
+	res, err := m3e.Run(prob, m.NewOpt(), opts, seed)
 	if err != nil {
 		return 0, nil, fmt.Errorf("%s: %w", m.Name, err)
 	}

@@ -13,6 +13,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"magma/internal/analyzer"
 	"magma/internal/encoding"
@@ -101,15 +104,41 @@ func (p *Problem) Fitness(res sim.Result) float64 {
 }
 
 // Evaluate decodes and simulates one individual, returning its fitness.
+// It allocates fresh scratch per call; hot loops use an Evaluator.
 func (p *Problem) Evaluate(g encoding.Genome) (float64, error) {
-	if err := g.Validate(p.NumJobs(), p.NumAccels()); err != nil {
+	ev := Evaluator{p: p, sim: sim.NewSimulator(sim.Options{})}
+	return ev.Evaluate(g)
+}
+
+// Evaluator is the reusable genome→fitness pipeline: it owns a decode
+// scratch Mapping and a sim.Simulator, so repeated Evaluate calls on the
+// same problem perform zero steady-state heap allocations. Evaluators
+// are not safe for concurrent use — the parallel runner gives each
+// worker its own.
+type Evaluator struct {
+	p   *Problem
+	sim *sim.Simulator
+	m   sim.Mapping
+}
+
+// NewEvaluator builds an evaluator bound to the problem.
+func (p *Problem) NewEvaluator() *Evaluator {
+	return &Evaluator{p: p, sim: sim.NewSimulator(sim.Options{})}
+}
+
+// Evaluate decodes and simulates one individual, returning its fitness.
+// Equal genomes produce bit-identical fitness regardless of which
+// Evaluator runs them — the determinism the parallel runner relies on.
+func (e *Evaluator) Evaluate(g encoding.Genome) (float64, error) {
+	if err := g.Validate(e.p.NumJobs(), e.p.NumAccels()); err != nil {
 		return 0, err
 	}
-	res, err := sim.Run(p.Table, encoding.Decode(g, p.NumAccels()), sim.Options{})
+	encoding.DecodeInto(g, e.p.NumAccels(), &e.m)
+	res, err := e.sim.Run(e.p.Table, e.m)
 	if err != nil {
 		return 0, err
 	}
-	return p.Fitness(res), nil
+	return e.p.Fitness(res), nil
 }
 
 // EvaluateMapping scores an already-decoded mapping (used for the
@@ -161,6 +190,74 @@ type Result struct {
 type Options struct {
 	Budget        int  // sampling budget (default 10000, §VI-B)
 	RecordSamples bool // keep every sampled vector (Fig. 10 PCA)
+	// Workers is the number of evaluation goroutines per Ask batch.
+	// 0 means GOMAXPROCS; 1 runs strictly serial. Results are
+	// bit-identical for every worker count (see Run).
+	Workers int
+}
+
+// Pool evaluates batches of genomes across a fixed set of workers, each
+// owning its own Evaluator (simulator + decode scratch). Fitness is
+// written by batch index, so the output order is independent of worker
+// scheduling; invalid genomes score -Inf, mirroring constraint-violating
+// samples.
+type Pool struct {
+	evs []*Evaluator
+}
+
+// NewPool builds a pool of `workers` evaluators for the problem
+// (workers <= 0 means GOMAXPROCS).
+func NewPool(p *Problem, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	evs := make([]*Evaluator, workers)
+	for i := range evs {
+		evs[i] = p.NewEvaluator()
+	}
+	return &Pool{evs: evs}
+}
+
+// Workers returns the pool's worker count.
+func (pl *Pool) Workers() int { return len(pl.evs) }
+
+// Evaluate scores batch[i] into fit[i] for every i. Workers pull batch
+// indices from a shared counter, so load balances even when evaluation
+// cost varies across genomes.
+func (pl *Pool) Evaluate(batch []encoding.Genome, fit []float64) {
+	eval := func(ev *Evaluator, i int) {
+		f, err := ev.Evaluate(batch[i])
+		if err != nil {
+			f = math.Inf(-1)
+		}
+		fit[i] = f
+	}
+	n := len(pl.evs)
+	if n > len(batch) {
+		n = len(batch)
+	}
+	if n <= 1 {
+		for i := range batch {
+			eval(pl.evs[0], i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(ev *Evaluator) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				eval(ev, i)
+			}
+		}(pl.evs[w])
+	}
+	wg.Wait()
 }
 
 // DefaultBudget is the evaluation's sampling budget (§VI-B).
@@ -169,6 +266,12 @@ const DefaultBudget = 10000
 // Run drives the optimization loop until the sampling budget is
 // exhausted (§IV-E). Candidates that fail validation count against the
 // budget with -Inf fitness, mirroring constraint-violating samples.
+//
+// Each Ask batch is evaluated by a worker pool (Options.Workers), but
+// the Result is bit-identical for every worker count: evaluation is a
+// pure function of the genome, fitness lands at its batch index, and the
+// best/curve bookkeeping below replays the batch strictly in Ask order —
+// exactly the sequence the serial loop would have produced.
 func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if o.Budget <= 0 {
 		o.Budget = DefaultBudget
@@ -177,6 +280,7 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if err := opt.Init(p, rng); err != nil {
 		return Result{}, fmt.Errorf("m3e: init %s: %w", opt.Name(), err)
 	}
+	pool := NewPool(p, o.Workers)
 	res := Result{Method: opt.Name(), BestFitness: math.Inf(-1)}
 	res.Curve = make([]float64, 0, o.Budget)
 	for res.Samples < o.Budget {
@@ -188,15 +292,11 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 			batch = batch[:left]
 		}
 		fit := make([]float64, len(batch))
+		pool.Evaluate(batch, fit)
 		for i, g := range batch {
-			f, err := p.Evaluate(g)
-			if err != nil {
-				f = math.Inf(-1)
-			}
-			fit[i] = f
 			res.Samples++
-			if f > res.BestFitness {
-				res.BestFitness = f
+			if fit[i] > res.BestFitness {
+				res.BestFitness = fit[i]
 				res.Best = g.Clone()
 			}
 			res.Curve = append(res.Curve, res.BestFitness)

@@ -120,14 +120,12 @@ func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
 	return nil
 }
 
-// Ask implements m3e.Optimizer: it returns the current generation.
-func (o *Optimizer) Ask() []encoding.Genome {
-	out := make([]encoding.Genome, len(o.pop))
-	for i, g := range o.pop {
-		out[i] = g.Clone()
-	}
-	return out
-}
+// Ask implements m3e.Optimizer: it returns the current generation. The
+// genomes alias the optimizer's population — safe, because Tell never
+// mutates told genomes in place (elites and children are cloned before
+// breeding touches them) — which keeps the serial Ask step off the
+// parallel evaluation engine's critical path.
+func (o *Optimizer) Ask() []encoding.Genome { return o.pop }
 
 // Tell implements m3e.Optimizer: it selects elites and breeds the next
 // generation with the MAGMA operators.

@@ -14,10 +14,8 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"magma/internal/analyzer"
-	"magma/internal/platform"
 )
 
 // Mapping is a decoded global mapping: one ordered job queue per
@@ -29,10 +27,18 @@ type Mapping struct {
 // Validate checks that the mapping is a permutation of jobs 0..nJobs-1
 // spread over nAccels queues.
 func (m Mapping) Validate(nJobs, nAccels int) error {
+	return m.validate(nJobs, nAccels, make([]bool, nJobs))
+}
+
+// validate is Validate with a caller-owned scratch marker slice (len
+// nJobs), so a reusable Simulator can validate without allocating.
+func (m Mapping) validate(nJobs, nAccels int, seen []bool) error {
 	if len(m.Queues) != nAccels {
 		return fmt.Errorf("sim: mapping has %d queues, platform has %d accels", len(m.Queues), nAccels)
 	}
-	seen := make([]bool, nJobs)
+	for i := range seen {
+		seen[i] = false
+	}
 	count := 0
 	for a, q := range m.Queues {
 		for _, j := range q {
@@ -109,6 +115,13 @@ type live struct {
 // allocate divides the system bandwidth among the live jobs according
 // to the policy, writing per-core grants into alloc.
 func allocate(state []live, alloc []float64, sysBW float64, policy Policy) {
+	allocateScratch(state, alloc, sysBW, policy, nil)
+}
+
+// allocateScratch is allocate with a caller-owned scratch slice for the
+// WaterFill worklist (Proportional never needs it). It returns the
+// possibly-grown scratch so the caller can keep it for the next frame.
+func allocateScratch(state []live, alloc []float64, sysBW float64, policy Policy, scratch []int) []int {
 	var sumReq float64
 	for a := range state {
 		alloc[a] = 0
@@ -122,7 +135,7 @@ func allocate(state []live, alloc []float64, sysBW float64, policy Policy) {
 				alloc[a] = state[a].req
 			}
 		}
-		return
+		return scratch
 	}
 	if policy == Proportional {
 		scale := sysBW / sumReq
@@ -131,13 +144,16 @@ func allocate(state []live, alloc []float64, sysBW float64, policy Policy) {
 				alloc[a] = state[a].req * scale
 			}
 		}
-		return
+		return scratch
 	}
 	// Max-min water-filling capped at each job's requirement: repeatedly
 	// grant jobs whose requirement fits under the fair share of the
 	// remaining bandwidth; split the rest evenly among the still-hungry.
 	remaining := sysBW
-	unsat := make([]int, 0, len(state))
+	if cap(scratch) < len(state) {
+		scratch = make([]int, 0, len(state))
+	}
+	unsat := scratch[:0]
 	for a := range state {
 		if state[a].active && state[a].req > 1e-12 {
 			unsat = append(unsat, a)
@@ -162,9 +178,10 @@ func allocate(state []live, alloc []float64, sysBW float64, policy Policy) {
 			for _, a := range unsat {
 				alloc[a] = fair
 			}
-			return
+			return scratch
 		}
 	}
+	return scratch
 }
 
 // Policy selects how the allocator divides the system bandwidth when
@@ -194,124 +211,13 @@ type Options struct {
 	Policy        Policy // bandwidth division rule under saturation
 }
 
-// Run executes the mapping against the job analysis table.
+// Run executes the mapping against the job analysis table. It is a
+// convenience wrapper over Simulator for one-shot callers: every call
+// allocates fresh buffers, so the returned Result is caller-owned. Hot
+// loops (the M3E evaluation engine) hold a Simulator instead and reuse
+// its scratch across calls.
 func Run(t *analyzer.Table, m Mapping, opt Options) (Result, error) {
-	nJobs, nAccels := t.NumJobs(), t.NumAccels()
-	if err := m.Validate(nJobs, nAccels); err != nil {
-		return Result{}, err
-	}
-	sysBW := t.Platform.SystemBWBytesPerCycle()
-	if sysBW <= 0 {
-		return Result{}, fmt.Errorf("sim: non-positive system BW")
-	}
-
-	// Per-accel cursor into its queue, plus the live job state.
-	next := make([]int, nAccels)
-	state := make([]live, nAccels)
-	res := Result{JobRuns: make([]JobRun, 0, nJobs)}
-
-	launch := func(a int, now float64) {
-		for next[a] < len(m.Queues[a]) {
-			j := m.Queues[a][next[a]]
-			next[a]++
-			e := t.At(j, a)
-			st := live{job: j, start: now, active: true, req: e.BWPerCycle}
-			if e.BWPerCycle <= 1e-12 {
-				st.noBW = float64(e.Cycles)
-			} else {
-				st.work = float64(e.Cycles) * e.BWPerCycle
-			}
-			state[a] = st
-			return
-		}
-		state[a] = live{job: -1}
-	}
-
-	now := 0.0
-	for a := 0; a < nAccels; a++ {
-		launch(a, now)
-	}
-
-	alloc := make([]float64, nAccels)
-	remaining := nJobs
-	for remaining > 0 {
-		allocate(state, alloc, sysBW, opt.Policy)
-		// Find the earliest completion among live jobs.
-		minRuntime := math.Inf(1)
-		for a := range state {
-			s := &state[a]
-			if !s.active {
-				continue
-			}
-			var runtime float64
-			if s.req <= 1e-12 {
-				runtime = s.noBW
-			} else {
-				runtime = s.work / alloc[a]
-			}
-			if runtime < minRuntime {
-				minRuntime = runtime
-			}
-		}
-		if math.IsInf(minRuntime, 1) {
-			return Result{}, fmt.Errorf("sim: no live jobs but %d remaining", remaining)
-		}
-		if opt.CaptureFrames {
-			f := Frame{Start: now, End: now + minRuntime,
-				JobID: make([]int, nAccels), AllocBW: make([]float64, nAccels)}
-			for a := range state {
-				if state[a].active {
-					f.JobID[a] = state[a].job
-					f.AllocBW[a] = alloc[a]
-				} else {
-					f.JobID[a] = -1
-				}
-			}
-			res.Frames = append(res.Frames, f)
-		}
-		now += minRuntime
-		// Progress every live job; retire the finished ones.
-		for a := range state {
-			s := &state[a]
-			if !s.active {
-				continue
-			}
-			var done bool
-			if s.req <= 1e-12 {
-				s.noBW -= minRuntime
-				done = s.noBW <= 1e-9
-			} else {
-				s.work -= minRuntime * alloc[a]
-				done = s.work <= 1e-6*s.req // tolerance in work units
-			}
-			if done {
-				res.JobRuns = append(res.JobRuns, JobRun{JobID: s.job, AccelID: a, Start: s.start, End: now})
-				remaining--
-				launch(a, now)
-			}
-		}
-	}
-
-	res.BusyCycles = make([]float64, nAccels)
-	for _, r := range res.JobRuns {
-		res.BusyCycles[r.AccelID] += r.End - r.Start
-	}
-	res.TotalCycles = now
-	res.Seconds = now / platform.ClockHz
-	flops := t.Group.TotalFLOPs()
-	if res.Seconds > 0 {
-		res.ThroughputGFLOPs = float64(flops) / res.Seconds / 1e9
-	}
-	var jobEnergy float64
-	for _, r := range res.JobRuns {
-		jobEnergy += t.At(r.JobID, r.AccelID).Energy
-	}
-	var pes float64
-	for _, s := range t.Platform.SubAccels {
-		pes += float64(s.Config.PEs())
-	}
-	res.Energy = jobEnergy + leakagePerPEPerCycle*pes*res.TotalCycles
-	return res, nil
+	return NewSimulator(opt).Run(t, m)
 }
 
 // NoStallLowerBound returns the idealized makespan (cycles) if bandwidth

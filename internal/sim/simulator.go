@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"magma/internal/analyzer"
+	"magma/internal/platform"
+)
+
+// Simulator is a reusable executor of the Algorithm 1 time-frame loop.
+// All working storage — live-job state, bandwidth grants, queue cursors,
+// the JobRuns/BusyCycles/Frames of the Result — lives in scratch buffers
+// owned by the Simulator, so Run performs zero heap allocations once the
+// buffers have grown to the problem size. That makes one Simulator per
+// worker the unit of parallel fitness evaluation.
+//
+// Ownership rule: the slices inside a returned Result alias the
+// Simulator's scratch and are only valid until the next Run call on the
+// same Simulator. Callers that retain a Result across Runs (or hand it
+// to another goroutine) must deep-copy it first; one-shot callers can
+// use the package-level Run, which uses a throwaway Simulator and hence
+// returns a caller-owned Result. A Simulator must not be shared between
+// goroutines.
+type Simulator struct {
+	opt Options
+
+	state   []live
+	alloc   []float64
+	next    []int     // per-accel cursor into its queue
+	unsat   []int     // WaterFill worklist scratch
+	seen    []bool    // Validate scratch
+	jobRuns []JobRun  // Result.JobRuns backing
+	busy    []float64 // Result.BusyCycles backing
+	frames  []Frame   // Result.Frames backing (CaptureFrames only)
+}
+
+// NewSimulator builds a reusable simulator with the given options.
+func NewSimulator(opt Options) *Simulator { return &Simulator{opt: opt} }
+
+// grow returns s resized to n, reusing the backing array when it fits.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// launch advances accel a's queue cursor and installs its next job as
+// the live job at time now (idle sentinel when the queue is drained).
+func (s *Simulator) launch(t *analyzer.Table, m Mapping, a int, now float64) {
+	if s.next[a] < len(m.Queues[a]) {
+		j := m.Queues[a][s.next[a]]
+		s.next[a]++
+		e := t.At(j, a)
+		st := live{job: j, start: now, active: true, req: e.BWPerCycle}
+		if e.BWPerCycle <= 1e-12 {
+			st.noBW = float64(e.Cycles)
+		} else {
+			st.work = float64(e.Cycles) * e.BWPerCycle
+		}
+		s.state[a] = st
+		return
+	}
+	s.state[a] = live{job: -1}
+}
+
+// captureFrame appends one frame to the scratch-backed frame list,
+// reusing the per-frame slices left over from earlier Runs.
+func (s *Simulator) captureFrame(start, end float64, nAccels int) {
+	var f Frame
+	if n := len(s.frames); n < cap(s.frames) {
+		f = s.frames[:n+1][n] // recycle the element's JobID/AllocBW
+	}
+	f.Start, f.End = start, end
+	f.JobID = grow(f.JobID, nAccels)
+	f.AllocBW = grow(f.AllocBW, nAccels)
+	for a := range s.state {
+		if s.state[a].active {
+			f.JobID[a] = s.state[a].job
+			f.AllocBW[a] = s.alloc[a]
+		} else {
+			f.JobID[a] = -1
+			f.AllocBW[a] = 0
+		}
+	}
+	s.frames = append(s.frames[:len(s.frames)], f)
+}
+
+// Run executes the mapping against the job analysis table. See the
+// Simulator doc comment for the Result ownership rule.
+func (s *Simulator) Run(t *analyzer.Table, m Mapping) (Result, error) {
+	nJobs, nAccels := t.NumJobs(), t.NumAccels()
+	s.seen = grow(s.seen, nJobs)
+	if err := m.validate(nJobs, nAccels, s.seen); err != nil {
+		return Result{}, err
+	}
+	sysBW := t.Platform.SystemBWBytesPerCycle()
+	if sysBW <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive system BW")
+	}
+
+	s.state = grow(s.state, nAccels)
+	s.alloc = grow(s.alloc, nAccels)
+	s.next = grow(s.next, nAccels)
+	for a := 0; a < nAccels; a++ {
+		s.next[a] = 0
+	}
+	if cap(s.jobRuns) < nJobs {
+		s.jobRuns = make([]JobRun, 0, nJobs)
+	}
+	s.jobRuns = s.jobRuns[:0]
+	s.frames = s.frames[:0]
+
+	now := 0.0
+	for a := 0; a < nAccels; a++ {
+		s.launch(t, m, a, now)
+	}
+
+	remaining := nJobs
+	for remaining > 0 {
+		s.unsat = allocateScratch(s.state, s.alloc, sysBW, s.opt.Policy, s.unsat)
+		// Find the earliest completion among live jobs.
+		minRuntime := math.Inf(1)
+		for a := range s.state {
+			st := &s.state[a]
+			if !st.active {
+				continue
+			}
+			var runtime float64
+			if st.req <= 1e-12 {
+				runtime = st.noBW
+			} else {
+				runtime = st.work / s.alloc[a]
+			}
+			if runtime < minRuntime {
+				minRuntime = runtime
+			}
+		}
+		if math.IsInf(minRuntime, 1) {
+			return Result{}, fmt.Errorf("sim: no live jobs but %d remaining", remaining)
+		}
+		if s.opt.CaptureFrames {
+			s.captureFrame(now, now+minRuntime, nAccels)
+		}
+		now += minRuntime
+		// Progress every live job; retire the finished ones.
+		for a := range s.state {
+			st := &s.state[a]
+			if !st.active {
+				continue
+			}
+			var done bool
+			if st.req <= 1e-12 {
+				st.noBW -= minRuntime
+				done = st.noBW <= 1e-9
+			} else {
+				st.work -= minRuntime * s.alloc[a]
+				done = st.work <= 1e-6*st.req // tolerance in work units
+			}
+			if done {
+				s.jobRuns = append(s.jobRuns, JobRun{JobID: st.job, AccelID: a, Start: st.start, End: now})
+				remaining--
+				s.launch(t, m, a, now)
+			}
+		}
+	}
+
+	s.busy = grow(s.busy, nAccels)
+	for a := range s.busy {
+		s.busy[a] = 0
+	}
+	var jobEnergy float64
+	for i := range s.jobRuns {
+		r := &s.jobRuns[i]
+		s.busy[r.AccelID] += r.End - r.Start
+		jobEnergy += t.At(r.JobID, r.AccelID).Energy
+	}
+	res := Result{JobRuns: s.jobRuns, BusyCycles: s.busy, TotalCycles: now}
+	if s.opt.CaptureFrames {
+		res.Frames = s.frames
+	}
+	res.Seconds = now / platform.ClockHz
+	if res.Seconds > 0 {
+		res.ThroughputGFLOPs = float64(t.Group.TotalFLOPs()) / res.Seconds / 1e9
+	}
+	var pes float64
+	for _, sa := range t.Platform.SubAccels {
+		pes += float64(sa.Config.PEs())
+	}
+	res.Energy = jobEnergy + leakagePerPEPerCycle*pes*res.TotalCycles
+	return res, nil
+}

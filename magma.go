@@ -29,7 +29,9 @@ package magma
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"magma/internal/encoding"
 	"magma/internal/heuristics"
@@ -120,6 +122,11 @@ type Options struct {
 	Budget int
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	Seed int64
+	// Workers is the number of parallel evaluation goroutines (0 means
+	// all cores, 1 strictly serial). Results are bit-identical for every
+	// worker count, so parallelism never costs reproducibility. Compare
+	// uses the same bound to run mappers concurrently.
+	Workers int
 	// WarmStart seeds MAGMA's initial population with previously found
 	// schedules of the same group size (§V-C). Ignored by other mappers.
 	WarmStart []Schedule
@@ -184,6 +191,13 @@ func Optimize(g Group, p Platform, opts Options) (Schedule, error) {
 	if err != nil {
 		return Schedule{}, err
 	}
+	return optimizeProblem(prob, g, opts)
+}
+
+// optimizeProblem runs one mapper against a prebuilt problem, letting
+// Compare share a single job-analysis table across every mapper instead
+// of re-profiling the group per mapper.
+func optimizeProblem(prob *m3e.Problem, g Group, opts Options) (Schedule, error) {
 	switch opts.Mapper {
 	case "Herald-like", "AI-MT-like":
 		var mapper heuristics.Mapper = heuristics.HeraldLike{}
@@ -211,7 +225,7 @@ func Optimize(g Group, p Platform, opts Options) (Schedule, error) {
 			seeder.Seed(seeds)
 		}
 	}
-	res, err := m3e.Run(prob, opt, m3e.Options{Budget: opts.Budget}, opts.Seed)
+	res, err := m3e.Run(prob, opt, m3e.Options{Budget: opts.Budget, Workers: opts.Workers}, opts.Seed)
 	if err != nil {
 		return Schedule{}, err
 	}
@@ -238,20 +252,55 @@ func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Geno
 // Compare runs several mappers on the same group and platform and
 // returns their schedules sorted best-fitness-first. Mapper names as in
 // Options.Mapper; an empty list means every Table IV method.
+//
+// The job-analysis table is built once and shared (it is read-only
+// during search), and the mappers run concurrently, up to Options.
+// Workers at a time (0 = all cores); each mapper's inner evaluation
+// loop then runs serial to keep the machine exactly Workers-wide. Every
+// mapper keeps the seed it would get from a serial sweep (opts.Seed+i),
+// so the returned schedules are identical for any worker count.
 func Compare(g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
 	if len(mappers) == 0 {
 		mappers = MapperNames()
 	}
-	out := make([]Schedule, 0, len(mappers))
+	prob, err := m3e.NewProblem(g, p, opts.Objective)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(mappers) {
+		workers = len(mappers)
+	}
+	out := make([]Schedule, len(mappers))
+	errs := make([]error, len(mappers))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for i, name := range mappers {
-		o := opts
-		o.Mapper = name
-		o.Seed = opts.Seed + int64(i)
-		s, err := Optimize(g, p, o)
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Mapper = name
+			o.Seed = opts.Seed + int64(i)
+			o.Workers = 1
+			s, err := optimizeProblem(prob, g, o)
+			if err != nil {
+				errs[i] = fmt.Errorf("magma: mapper %s: %w", name, err)
+				return
+			}
+			out[i] = s
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("magma: mapper %s: %w", name, err)
+			return nil, err
 		}
-		out = append(out, s)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Fitness > out[j].Fitness })
 	return out, nil

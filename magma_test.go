@@ -86,6 +86,42 @@ func TestCompareSortsByFitness(t *testing.T) {
 	}
 }
 
+// TestWorkersReproducible pins the facade-level determinism contract:
+// Optimize and Compare return identical schedules at any worker count.
+func TestWorkersReproducible(t *testing.T) {
+	g := testGroup(t, Mix, 16)
+	base, err := Optimize(g, PlatformS2(), Options{Budget: 150, Seed: 6, Workers: 1})
+	if err != nil {
+		t.Fatalf("Optimize serial: %v", err)
+	}
+	for _, workers := range []int{2, 8} {
+		s, err := Optimize(g, PlatformS2(), Options{Budget: 150, Seed: 6, Workers: workers})
+		if err != nil {
+			t.Fatalf("Optimize workers=%d: %v", workers, err)
+		}
+		if s.Fitness != base.Fitness || s.MakespanCycles != base.MakespanCycles {
+			t.Errorf("workers=%d: schedule differs from serial (fitness %v vs %v)",
+				workers, s.Fitness, base.Fitness)
+		}
+	}
+
+	mappers := []string{"Herald-like", "MAGMA", "stdGA", "Random"}
+	serial, err := Compare(g, PlatformS2(), mappers, Options{Budget: 100, Seed: 6, Workers: 1})
+	if err != nil {
+		t.Fatalf("Compare serial: %v", err)
+	}
+	parallel, err := Compare(g, PlatformS2(), mappers, Options{Budget: 100, Seed: 6, Workers: 4})
+	if err != nil {
+		t.Fatalf("Compare parallel: %v", err)
+	}
+	for i := range serial {
+		if serial[i].Mapper != parallel[i].Mapper || serial[i].Fitness != parallel[i].Fitness {
+			t.Errorf("rank %d: serial (%s, %v) != parallel (%s, %v)", i,
+				serial[i].Mapper, serial[i].Fitness, parallel[i].Mapper, parallel[i].Fitness)
+		}
+	}
+}
+
 func TestWarmStartViaPublicAPI(t *testing.T) {
 	g := testGroup(t, Recommendation, 16)
 	first, err := Optimize(g, PlatformS2(), Options{Budget: 300, Seed: 5})

@@ -18,6 +18,10 @@ type StreamOptions struct {
 	BudgetPerGroup int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers is the number of parallel evaluation goroutines per group
+	// search (0 = all cores). Groups themselves stay sequential: warm
+	// starting chains each group on its predecessors' schedules.
+	Workers int
 	// WarmStart chains groups: each group's search is seeded with the
 	// best schedules of earlier groups of the same task type (§V-C).
 	// Only effective for MAGMA.
@@ -61,6 +65,7 @@ func OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, 
 			Objective: opts.Objective,
 			Budget:    budget,
 			Seed:      opts.Seed + int64(gi),
+			Workers:   opts.Workers,
 		}
 		if opts.WarmStart {
 			o.WarmStart = store.Seeds(wl.Task, len(g.Jobs))
