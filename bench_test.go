@@ -227,15 +227,56 @@ func BenchmarkMAGMAGeneration(b *testing.B) {
 				b.Fatal(err)
 			}
 			pool := m3e.NewPool(prob, workers)
+			fit := make([]float64, 100)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pop := opt.Ask()
-				fit := make([]float64, len(pop))
-				pool.Evaluate(pop, fit)
-				opt.Tell(pop, fit)
+				pool.Evaluate(pop, fit[:len(pop)])
+				opt.Tell(pop, fit[:len(pop)])
 			}
 		})
+	}
+}
+
+// BenchmarkMAGMAGenerationCached runs the same generation loop through
+// the schedule-fingerprint fitness cache: duplicate elites and
+// schedule-equivalent offspring skip the simulator, with bit-identical
+// fitness (see internal/m3e.FitnessCache). The cache hit rate is
+// reported as the hit_pct metric.
+func BenchmarkMAGMAGenerationCached(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prob := benchProblem(b, models.Mix, 100, platform.S2().WithBW(16))
+			opt := optmagma.New(optmagma.Config{})
+			if err := opt.Init(prob, newRand(2)); err != nil {
+				b.Fatal(err)
+			}
+			pool := m3e.NewPool(prob, workers)
+			cache := m3e.NewFitnessCache(prob, 0)
+			fit := make([]float64, 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pop := opt.Ask()
+				cache.Evaluate(pool, pop, fit[:len(pop)])
+				opt.Tell(pop, fit[:len(pop)])
+			}
+			b.ReportMetric(100*cache.Stats().HitRate(), "hit_pct")
+		})
+	}
+}
+
+// BenchmarkFingerprint measures the schedule-fingerprint pass the cache
+// runs per genome (decode into scratch + hash of the per-core queues).
+func BenchmarkFingerprint(b *testing.B) {
+	g := encoding.Random(100, 8, newRand(3))
+	var m sim.Mapping
+	g.FingerprintInto(8, &m) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FingerprintInto(8, &m)
 	}
 }
 

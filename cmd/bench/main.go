@@ -24,7 +24,13 @@ import (
 	"magma/internal/encoding"
 	"magma/internal/m3e"
 	"magma/internal/models"
+	"magma/internal/opt/cmaes"
+	"magma/internal/opt/de"
+	"magma/internal/opt/ga"
 	optmagma "magma/internal/opt/magma"
+	"magma/internal/opt/pso"
+	"magma/internal/opt/random"
+	"magma/internal/opt/tbpsa"
 	"magma/internal/platform"
 	"magma/internal/sim"
 	"magma/internal/workload"
@@ -52,6 +58,17 @@ type Report struct {
 	// best parallel generation time — the headline of the parallel
 	// evaluation engine (bounded by GOMAXPROCS).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// CacheHitRate is the schedule-fingerprint cache's hit rate over a
+	// full MAGMA search at the paper's budget (fraction of samples that
+	// skipped the simulator).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheHitRateByMapper breaks the redundancy of the search stream
+	// down per optimizer (the evidence behind DESIGN.md's "Redundancy
+	// in the search stream" section).
+	CacheHitRateByMapper map[string]float64 `json:"cache_hit_rate_by_mapper"`
+	// CachedSpeedup is uncached generation time divided by cached
+	// generation time, both at workers=1 (serial benefit of dedup).
+	CachedSpeedup float64 `json:"cached_speedup"`
 }
 
 func measure(name string, f func(b *testing.B)) Measurement {
@@ -122,7 +139,7 @@ func main() {
 		}
 	}))
 
-	var serial, bestParallel float64
+	var serial, bestParallel, serialCached float64
 	for _, workers := range []int{1, 2, 4, 8} {
 		m := measure(fmt.Sprintf("MAGMAGeneration/workers=%d", workers), func(b *testing.B) {
 			opt := optmagma.New(optmagma.Config{})
@@ -130,12 +147,12 @@ func main() {
 				b.Fatal(err)
 			}
 			pool := m3e.NewPool(prob, workers)
+			fit := make([]float64, groupSize)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				pop := opt.Ask()
-				fit := make([]float64, len(pop))
-				pool.Evaluate(pop, fit)
-				opt.Tell(pop, fit)
+				pool.Evaluate(pop, fit[:len(pop)])
+				opt.Tell(pop, fit[:len(pop)])
 			}
 		})
 		rep.Measurements = append(rep.Measurements, m)
@@ -148,6 +165,57 @@ func main() {
 	if bestParallel > 0 {
 		rep.SpeedupVsSerial = serial / bestParallel
 	}
+
+	// Cached generation timings: the same loop through the schedule-
+	// fingerprint cache (results are bit-identical; only wall-clock and
+	// simulator traffic change).
+	for _, workers := range []int{1, 2, 4, 8} {
+		m := measure(fmt.Sprintf("MAGMAGenerationCached/workers=%d", workers), func(b *testing.B) {
+			opt := optmagma.New(optmagma.Config{})
+			if err := opt.Init(prob, newRand(2)); err != nil {
+				b.Fatal(err)
+			}
+			pool := m3e.NewPool(prob, workers)
+			cache := m3e.NewFitnessCache(prob, 0)
+			fit := make([]float64, groupSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pop := opt.Ask()
+				cache.Evaluate(pool, pop, fit[:len(pop)])
+				opt.Tell(pop, fit[:len(pop)])
+			}
+		})
+		rep.Measurements = append(rep.Measurements, m)
+		if workers == 1 {
+			serialCached = m.NsPerOp
+		}
+	}
+	if serialCached > 0 {
+		rep.CachedSpeedup = serial / serialCached
+	}
+
+	// Measured duplicate rate of each optimizer's search stream: one
+	// full cached run at the paper's budget per mapper.
+	rep.CacheHitRateByMapper = map[string]float64{}
+	for _, m := range []struct {
+		name string
+		opt  m3e.Optimizer
+	}{
+		{"MAGMA", optmagma.New(optmagma.Config{})},
+		{"stdGA", ga.New(ga.Config{})},
+		{"DE", de.New(de.Config{})},
+		{"CMA", cmaes.New(cmaes.Config{})},
+		{"TBPSA", tbpsa.New(tbpsa.Config{})},
+		{"PSO", pso.New(pso.Config{})},
+		{"Random", random.New(0)},
+	} {
+		res, err := m3e.Run(prob, m.opt, m3e.Options{Budget: m3e.DefaultBudget, Cache: true}, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.CacheHitRateByMapper[m.name] = res.Cache.HitRate()
+	}
+	rep.CacheHitRate = rep.CacheHitRateByMapper["MAGMA"]
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -162,8 +230,12 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, m := range rep.Measurements {
-		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+		fmt.Printf("%-34s %12.0f ns/op %8d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
 	}
 	fmt.Printf("parallel speedup vs serial: %.2fx (GOMAXPROCS=%d)\n", rep.SpeedupVsSerial, rep.GOMAXPROCS)
+	fmt.Printf("cached speedup vs uncached (workers=1): %.2fx\n", rep.CachedSpeedup)
+	for _, name := range []string{"MAGMA", "stdGA", "DE", "CMA", "TBPSA", "PSO", "Random"} {
+		fmt.Printf("cache hit rate %-8s %5.1f%%\n", name+":", 100*rep.CacheHitRateByMapper[name])
+	}
 	fmt.Printf("wrote %s\n", *out)
 }

@@ -30,6 +30,7 @@ func main() {
 		hidden  = flag.Int("rl-hidden", 0, "override RL MLP width")
 		seed    = flag.Int64("seed", 0, "override base seed")
 		workers = flag.Int("workers", 0, "parallel evaluation goroutines (0 = all cores; results are seed-reproducible at any worker count)")
+		cache   = flag.Bool("cache", true, "schedule-fingerprint fitness cache (results are bit-identical on or off)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	cfg.Cache = *cache
 
 	run := func(e experiments.Experiment) {
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)

@@ -32,6 +32,8 @@ func main() {
 		objective  = flag.String("objective", "throughput", "throughput | latency | energy | edp")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "parallel evaluation goroutines (0 = all cores; results are seed-reproducible at any worker count)")
+		cache      = flag.Bool("cache", true, "schedule-fingerprint fitness cache (results are bit-identical on or off)")
+		cacheSize  = flag.Int("cachesize", 0, "fitness cache bound in entries (0 = default)")
 		gantt      = flag.Bool("gantt", false, "render the found schedule")
 		compare    = flag.Bool("compare", false, "run every Table IV mapper and print a leaderboard")
 		listMap    = flag.Bool("mappers", false, "list mapper names and exit")
@@ -64,7 +66,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := magma.Options{Mapper: *mapper, Objective: obj, Budget: *budget, Seed: *seed, Workers: *workers}
+	opts := magma.Options{
+		Mapper: *mapper, Objective: obj, Budget: *budget, Seed: *seed,
+		Workers: *workers, Cache: *cache, CacheSize: *cacheSize,
+	}
 
 	fmt.Printf("platform: %s\n", pf)
 	fmt.Printf("group:    %d jobs, %.3g total GFLOPs\n", len(group.Jobs), float64(group.TotalFLOPs())/1e9)
@@ -89,6 +94,10 @@ func main() {
 	fmt.Printf("throughput: %.1f GFLOP/s\n", sched.ThroughputGFLOPs)
 	fmt.Printf("makespan:   %.4g cycles\n", sched.MakespanCycles)
 	fmt.Printf("energy:     %.4g units\n", sched.EnergyUnits)
+	if st := sched.Cache; st.Hits+st.Deduped+st.Misses > 0 {
+		fmt.Printf("cache:      %.1f%% hit rate (%d hits, %d deduped, %d simulated)\n",
+			100*st.HitRate(), st.Hits, st.Deduped, st.Misses)
+	}
 	if *gantt {
 		fmt.Println()
 		if err := magma.RenderSchedule(os.Stdout, group, pf, sched, 100); err != nil {

@@ -14,6 +14,7 @@
 package encoding
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -163,18 +164,26 @@ func quantize(x float64, n int) int {
 	return a
 }
 
-// Key returns a compact comparable fingerprint of the decoded schedule:
-// genomes with the same key decode to the same mapping. Priorities are
-// reduced to their rank order per core, so it is stable under monotone
-// re-scaling of the priority genes.
+// Key returns a compact comparable identifier of the decoded schedule:
+// genomes have equal keys exactly when they decode to the same mapping.
+// Priorities are reduced to their rank order per core, so it is stable
+// under monotone re-scaling of the priority genes.
+//
+// Each queue is serialized as uvarint(len) followed by uvarint(jobID) —
+// a prefix-free code, so the encoding is injective for any job ID (the
+// previous 16-bit scheme truncated IDs >= 65536 and used a 0xff,0xff
+// separator that was ambiguous with job ID 65535). Key survives for
+// callers that want a printable/string identity; hot paths should use
+// Fingerprint, which is allocation-free.
 func (g Genome) Key(nAccels int) string {
 	m := Decode(g, nAccels)
-	buf := make([]byte, 0, 4*len(g.Accel)+len(m.Queues))
+	buf := make([]byte, 0, 2*len(g.Accel)+2*len(m.Queues))
+	var tmp [binary.MaxVarintLen64]byte
 	for _, q := range m.Queues {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(q)))]...)
 		for _, j := range q {
-			buf = append(buf, byte(j), byte(j>>8))
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(j))]...)
 		}
-		buf = append(buf, 0xff, 0xff)
 	}
 	return string(buf)
 }

@@ -190,7 +190,7 @@ func TestQuickVectorPreservesSchedule(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return g.Key(nAccels) == back.Key(nAccels)
+		return g.Fingerprint(nAccels) == back.Fingerprint(nAccels)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)

@@ -1,0 +1,61 @@
+package encoding
+
+import "magma/internal/sim"
+
+// Fingerprint is a 128-bit schedule fingerprint: two independent 64-bit
+// FNV-1a-style lanes over the decoded per-core queues. Genomes that
+// decode to the same mapping always produce the same fingerprint;
+// distinct mappings collide with probability ~2^-128, which at the
+// paper's 10K-sample budgets is negligible. Unlike Key it allocates
+// nothing and is directly usable as a map key, so it is the identity
+// the evaluation engine's fitness cache runs on.
+//
+// Fingerprints are only comparable within one problem (same group and
+// platform): the hash covers the queue contents, not the dimensions.
+type Fingerprint struct {
+	A, B uint64
+}
+
+// The two lanes use distinct odd multipliers and offsets so a collision
+// in one lane is uncorrelated with the other: lane A is standard 64-bit
+// FNV-1a, lane B mixes with xxhash's prime2 from a golden-ratio offset.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x00000100000001b3
+	altOffset64 = 0x9e3779b97f4a7c15
+	altPrime64  = 0xc2b2ae3d27d4eb4f
+)
+
+// FingerprintMapping hashes per-core queues into a Fingerprint. The
+// token stream is prefix-free — each queue contributes its length, then
+// its job IDs — so distinct queue structures never serialize to the
+// same stream. Allocation-free.
+func FingerprintMapping(m sim.Mapping) Fingerprint {
+	a, b := uint64(fnvOffset64), uint64(altOffset64)
+	for _, q := range m.Queues {
+		x := uint64(len(q))
+		a = (a ^ x) * fnvPrime64
+		b = (b ^ x) * altPrime64
+		for _, j := range q {
+			x = uint64(j) + 1 // +1 keeps job 0 distinct from padding-like zeros
+			a = (a ^ x) * fnvPrime64
+			b = (b ^ x) * altPrime64
+		}
+	}
+	return Fingerprint{A: a, B: b}
+}
+
+// FingerprintInto decodes the genome into the scratch mapping (exactly
+// like DecodeInto) and returns the schedule fingerprint. Steady-state it
+// performs zero heap allocations; the decoded mapping is left in scratch
+// so callers can reuse it (the fitness cache feeds it straight to the
+// simulator, making the fingerprint pass the *only* decode per genome).
+func (g Genome) FingerprintInto(nAccels int, scratch *sim.Mapping) Fingerprint {
+	DecodeInto(g, nAccels, scratch)
+	return FingerprintMapping(*scratch)
+}
+
+// Fingerprint is the allocating convenience form of FingerprintInto.
+func (g Genome) Fingerprint(nAccels int) Fingerprint {
+	return FingerprintMapping(Decode(g, nAccels))
+}

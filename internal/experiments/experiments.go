@@ -32,23 +32,26 @@ type Config struct {
 	RLHidden  int   // MLP width for the RL mappers (paper: 128)
 	Seed      int64 // base RNG seed
 	Workers   int   // parallel evaluation goroutines (0 = all cores)
+	Cache     bool  // schedule-fingerprint fitness cache (bit-identical results)
 }
 
 // runOpts returns the m3e runner options for one search at the given
-// budget. Worker count changes wall-clock only, never results, so the
-// artifacts are reproducible at any parallelism.
+// budget. Worker count and the fitness cache change wall-clock only,
+// never results, so the artifacts are reproducible at any parallelism
+// with caching on or off.
 func (c Config) runOpts(budget int) m3e.Options {
-	return m3e.Options{Budget: budget, Workers: c.Workers}
+	return m3e.Options{Budget: budget, Workers: c.Workers, Cache: c.Cache}
 }
 
-// Quick returns the fast-suite configuration (CI-friendly).
+// Quick returns the fast-suite configuration (CI-friendly). The fitness
+// cache is on: it only skips provably redundant simulations.
 func Quick() Config {
-	return Config{Budget: 600, GroupSize: 30, RLHidden: 24, Seed: 7}
+	return Config{Budget: 600, GroupSize: 30, RLHidden: 24, Seed: 7, Cache: true}
 }
 
 // Full returns the paper-scale configuration (§VI-B).
 func Full() Config {
-	return Config{Budget: m3e.DefaultBudget, GroupSize: workload.DefaultGroupSize, RLHidden: 128, Seed: 7}
+	return Config{Budget: m3e.DefaultBudget, GroupSize: workload.DefaultGroupSize, RLHidden: 128, Seed: 7, Cache: true}
 }
 
 func (c Config) withDefaults() Config {

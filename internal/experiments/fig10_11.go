@@ -50,7 +50,9 @@ func runFig10(c Config, w io.Writer) error {
 	}
 	var runs []explored
 	for mi, m := range methods {
-		res, err := m3e.Run(prob, m.NewOpt(), m3e.Options{Budget: c.Budget, RecordSamples: true, Workers: c.Workers}, c.Seed+int64(mi))
+		opts := c.runOpts(c.Budget)
+		opts.RecordSamples = true
+		res, err := m3e.Run(prob, m.NewOpt(), opts, c.Seed+int64(mi))
 		if err != nil {
 			return err
 		}
@@ -59,7 +61,7 @@ func runFig10(c Config, w io.Writer) error {
 	// The "exhaustively sampled" best-effort reference: a larger random
 	// sweep (the paper used ~1M samples over two days; we scale it to
 	// 10x the method budget).
-	randRes, err := m3e.Run(prob, random.New(256), m3e.Options{Budget: 10 * c.Budget, Workers: c.Workers}, c.Seed+99)
+	randRes, err := m3e.Run(prob, random.New(256), c.runOpts(10*c.Budget), c.Seed+99)
 	if err != nil {
 		return err
 	}

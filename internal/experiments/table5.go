@@ -26,7 +26,7 @@ var warmEpochs = []int{0, 1, 30, 100}
 // warmCheckpoints runs MAGMA (optionally seeded) and returns the best
 // fitness after each checkpoint epoch. Epoch e means the best observed
 // once the initial population plus e bred generations were evaluated.
-func warmCheckpoints(prob *m3e.Problem, seeds []encoding.Genome, seed int64, workers int) (map[int]float64, encoding.Genome, error) {
+func warmCheckpoints(prob *m3e.Problem, seeds []encoding.Genome, seed int64, c Config) (map[int]float64, encoding.Genome, error) {
 	pop := prob.NumJobs() // MAGMA's population = group size
 	maxEpoch := warmEpochs[len(warmEpochs)-1]
 	budget := pop * (maxEpoch + 1)
@@ -34,7 +34,7 @@ func warmCheckpoints(prob *m3e.Problem, seeds []encoding.Genome, seed int64, wor
 	if len(seeds) > 0 {
 		opt.Seed(seeds)
 	}
-	res, err := m3e.Run(prob, opt, m3e.Options{Budget: budget, Workers: workers}, seed)
+	res, err := m3e.Run(prob, opt, c.runOpts(budget), seed)
 	if err != nil {
 		return nil, encoding.Genome{}, err
 	}
@@ -51,12 +51,12 @@ func warmCheckpoints(prob *m3e.Problem, seeds []encoding.Genome, seed int64, wor
 
 // warmColumn produces one Table V column: Raw plus the Trf checkpoints,
 // all normalized by the Trf-100-ep value.
-func warmColumn(prob *m3e.Problem, seeds []encoding.Genome, seed int64, workers int) (raw float64, trf map[int]float64, best encoding.Genome, err error) {
-	trf, best, err = warmCheckpoints(prob, seeds, seed, workers)
+func warmColumn(prob *m3e.Problem, seeds []encoding.Genome, seed int64, c Config) (raw float64, trf map[int]float64, best encoding.Genome, err error) {
+	trf, best, err = warmCheckpoints(prob, seeds, seed, c)
 	if err != nil {
 		return 0, nil, encoding.Genome{}, err
 	}
-	rawCk, _, err := warmCheckpoints(prob, nil, seed+1, workers)
+	rawCk, _, err := warmCheckpoints(prob, nil, seed+1, c)
 	if err != nil {
 		return 0, nil, encoding.Genome{}, err
 	}
@@ -78,7 +78,7 @@ func runTable5(c Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	raw0, trf0, best0, err := warmColumn(prob0, nil, c.Seed, c.Workers)
+	raw0, trf0, best0, err := warmColumn(prob0, nil, c.Seed, c)
 	if err != nil {
 		return err
 	}
@@ -95,7 +95,7 @@ func runTable5(c Config, w io.Writer) error {
 			return err
 		}
 		seeds := store.SeedsFor(models.Mix, prob.NumJobs())
-		raw, trf, _, err := warmColumn(prob, seeds, c.Seed+int64(inst), c.Workers)
+		raw, trf, _, err := warmColumn(prob, seeds, c.Seed+int64(inst), c)
 		if err != nil {
 			return err
 		}
@@ -151,7 +151,7 @@ func runTable5(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			_, _, best, err := warmColumn(src, nil, c.Seed+int64(si), c.Workers)
+			_, _, best, err := warmColumn(src, nil, c.Seed+int64(si), c)
 			if err != nil {
 				return err
 			}
@@ -159,7 +159,7 @@ func runTable5(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			raw, trf, _, err := warmColumn(dst, []encoding.Genome{best}, c.Seed+int64(si)+1, c.Workers)
+			raw, trf, _, err := warmColumn(dst, []encoding.Genome{best}, c.Seed+int64(si)+1, c)
 			if err != nil {
 				return err
 			}

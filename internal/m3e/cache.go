@@ -1,0 +1,201 @@
+package m3e
+
+import (
+	"math"
+
+	"magma/internal/encoding"
+	"magma/internal/sim"
+)
+
+// DefaultCacheSize bounds the fitness cache when Options.CacheSize is
+// zero. At the paper's 10K-sample budget the cache never evicts; the
+// bound exists so long-lived streams (OptimizeStream, servers reusing a
+// problem) stay at a few MB instead of growing without limit.
+const DefaultCacheSize = 1 << 16
+
+// CacheStats counts how the fitness cache resolved evaluations.
+type CacheStats struct {
+	// Hits are evaluations answered by the cross-generation cache.
+	Hits uint64
+	// Deduped are in-batch duplicates folded onto a representative
+	// evaluated in the same batch.
+	Deduped uint64
+	// Misses are evaluations actually dispatched to the worker pool.
+	Misses uint64
+	// Invalid are genomes that failed validation (scored -Inf without
+	// being decoded or dispatched).
+	Invalid uint64
+}
+
+// HitRate is the fraction of decodable evaluations avoided:
+// (Hits+Deduped) / (Hits+Deduped+Misses). Zero when nothing ran.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Deduped + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Deduped) / float64(total)
+}
+
+// Add accumulates another run's counters (used by callers aggregating
+// multiple searches, e.g. OptimizeStream).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Deduped += o.Deduped
+	s.Misses += o.Misses
+	s.Invalid += o.Invalid
+}
+
+// FitnessCache memoizes genome fitness by schedule fingerprint and
+// dedups Ask batches before they reach the worker pool. It exploits the
+// two redundancies of the search stream: optimizers re-Ask schedules
+// they already evaluated (MAGMA re-submits its elites verbatim every
+// generation), and the continuous priority genome collapses to per-core
+// rank order, so distinct genomes frequently decode to the identical
+// mapping.
+//
+// Results are bit-identical to the uncached path at any worker count:
+// evaluation is a pure function of the decoded schedule, so a cached
+// float64 equals a recomputed one, and fitness is still written at its
+// batch index.
+//
+// A FitnessCache belongs to one run at a time (its batch scratch is
+// reused across Evaluate calls); like an Evaluator it must not be
+// shared between goroutines. It is bound to one Problem — fitness
+// depends on the group, platform and objective, so never reuse a cache
+// across problems.
+type FitnessCache struct {
+	p        *Problem
+	capacity int
+
+	entries map[encoding.Fingerprint]float64
+	// fifo is the eviction ring: once len(entries) reaches capacity the
+	// oldest insertion is dropped. FIFO keeps eviction deterministic
+	// (map iteration order never leaks into behavior) and O(1).
+	fifo []encoding.Fingerprint
+	next int
+
+	stats CacheStats
+
+	// Per-batch scratch, grown once and reused. maps[i] holds the
+	// decoded schedule of batch[i] — the fingerprint pass is the only
+	// decode per genome; representatives are simulated straight from it.
+	maps    []sim.Mapping
+	fps     []encoding.Fingerprint
+	ok      []bool // batch index -> passed validation in phase 1
+	class   []int  // batch index -> representative slot, or -1 if resolved
+	reps    []int  // representative slot -> batch index
+	repFit  []float64
+	inBatch map[encoding.Fingerprint]int // fingerprint -> representative slot
+}
+
+// NewFitnessCache builds a cache for the problem. capacity <= 0 means
+// DefaultCacheSize.
+func NewFitnessCache(p *Problem, capacity int) *FitnessCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &FitnessCache{
+		p:        p,
+		capacity: capacity,
+		entries:  make(map[encoding.Fingerprint]float64),
+		// fifo grows by append up to capacity; preallocating the whole
+		// ring would charge every short run the full bound (~1 MiB at
+		// the default capacity).
+		inBatch: make(map[encoding.Fingerprint]int),
+	}
+}
+
+// Stats returns the counters accumulated so far.
+func (c *FitnessCache) Stats() CacheStats { return c.stats }
+
+// Len returns the number of cached fingerprints (bounded by capacity).
+func (c *FitnessCache) Len() int { return len(c.entries) }
+
+// Evaluate scores batch[i] into fit[i] for every i, like Pool.Evaluate,
+// but dispatches only one representative per schedule-equivalence class
+// and none for schedules already cached. Three phases:
+//
+//  1. parallel: validate + decode + fingerprint every genome (index-
+//     addressed, so deterministic at any worker count);
+//  2. serial: group by fingerprint — cache hit, in-batch duplicate, or
+//     new representative;
+//  3. parallel: simulate the representatives from their already-decoded
+//     mappings, then scatter fitness to every class member and insert
+//     the new results into the cache.
+func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float64) {
+	c.grow(len(batch))
+	pool.fingerprint(c.p, batch, c.maps, c.fps, c.ok)
+
+	c.reps = c.reps[:0]
+	clear(c.inBatch)
+	for i := range batch {
+		c.class[i] = -1
+		if !c.ok[i] { // failed validation in phase 1
+			fit[i] = math.Inf(-1)
+			c.stats.Invalid++
+			continue
+		}
+		fp := c.fps[i]
+		if v, ok := c.entries[fp]; ok {
+			fit[i] = v
+			c.stats.Hits++
+			continue
+		}
+		if slot, ok := c.inBatch[fp]; ok {
+			c.class[i] = slot
+			c.stats.Deduped++
+			continue
+		}
+		slot := len(c.reps)
+		c.inBatch[fp] = slot
+		c.reps = append(c.reps, i)
+		c.class[i] = slot
+		c.stats.Misses++
+	}
+
+	pool.evaluateMapped(c.maps, c.reps, c.repFit[:len(c.reps)])
+
+	for i := range batch {
+		if slot := c.class[i]; slot >= 0 {
+			fit[i] = c.repFit[slot]
+		}
+	}
+	for slot, i := range c.reps {
+		c.insert(c.fps[i], c.repFit[slot])
+	}
+}
+
+// insert stores one fingerprint, evicting FIFO at capacity.
+func (c *FitnessCache) insert(fp encoding.Fingerprint, v float64) {
+	if len(c.fifo) < c.capacity {
+		c.entries[fp] = v
+		c.fifo = append(c.fifo, fp)
+		return
+	}
+	delete(c.entries, c.fifo[c.next])
+	c.entries[fp] = v
+	c.fifo[c.next] = fp
+	c.next++
+	if c.next == len(c.fifo) {
+		c.next = 0
+	}
+}
+
+// grow sizes the per-batch scratch for n genomes.
+func (c *FitnessCache) grow(n int) {
+	if cap(c.maps) < n {
+		maps := make([]sim.Mapping, n)
+		copy(maps, c.maps) // keep already-grown queue buffers
+		c.maps = maps
+		c.fps = make([]encoding.Fingerprint, n)
+		c.ok = make([]bool, n)
+		c.class = make([]int, n)
+		c.repFit = make([]float64, n)
+	}
+	c.maps = c.maps[:n]
+	c.fps = c.fps[:n]
+	c.ok = c.ok[:n]
+	c.class = c.class[:n]
+	c.repFit = c.repFit[:n]
+}

@@ -1,0 +1,195 @@
+package m3e_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"magma/internal/encoding"
+	"magma/internal/m3e"
+	"magma/internal/opt/ga"
+	optmagma "magma/internal/opt/magma"
+	"magma/internal/opt/random"
+)
+
+// TestRunCacheDeterminism is the fitness cache's contract: for a fixed
+// seed, cache on and cache off return bit-identical Results at every
+// worker count — a cached fitness is the float64 the pool would have
+// recomputed.
+func TestRunCacheDeterminism(t *testing.T) {
+	prob := parallelProblem(t)
+	const budget = 200
+	mappers := []struct {
+		name string
+		mk   func() m3e.Optimizer
+	}{
+		{"MAGMA", func() m3e.Optimizer { return optmagma.New(optmagma.Config{}) }},
+		{"stdGA", func() m3e.Optimizer { return ga.New(ga.Config{}) }},
+		{"Random", func() m3e.Optimizer { return random.New(32) }},
+	}
+	for _, m := range mappers {
+		t.Run(m.name, func(t *testing.T) {
+			base, err := m3e.Run(prob, m.mk(), m3e.Options{Budget: budget, Workers: 1}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				got, err := m3e.Run(prob, m.mk(), m3e.Options{Budget: budget, Workers: workers, Cache: true}, 5)
+				if err != nil {
+					t.Fatalf("workers=%d cache=on: %v", workers, err)
+				}
+				if got.BestFitness != base.BestFitness {
+					t.Errorf("workers=%d cache=on: BestFitness %v != uncached serial %v",
+						workers, got.BestFitness, base.BestFitness)
+				}
+				if !reflect.DeepEqual(got.Best, base.Best) {
+					t.Errorf("workers=%d cache=on: Best genome differs from uncached serial", workers)
+				}
+				if !reflect.DeepEqual(got.Curve, base.Curve) {
+					t.Errorf("workers=%d cache=on: convergence curve differs from uncached serial", workers)
+				}
+				if got.Samples != base.Samples {
+					t.Errorf("workers=%d cache=on: samples %d != %d (cache hits must still consume budget)",
+						workers, got.Samples, base.Samples)
+				}
+				st := got.Cache
+				if st.Hits+st.Deduped+st.Misses+st.Invalid != uint64(got.Samples) {
+					t.Errorf("workers=%d: counters %+v don't add up to %d samples", workers, st, got.Samples)
+				}
+				if m.name == "MAGMA" && st.Hits == 0 {
+					t.Error("MAGMA re-Asks its elites every generation; expected cache hits > 0")
+				}
+			}
+		})
+	}
+}
+
+// TestFitnessCacheMatchesPool drives FitnessCache.Evaluate directly on
+// adversarial batches — duplicates, schedule-equivalent genomes, and an
+// invalid genome — and checks every fitness equals the plain pool's.
+func TestFitnessCacheMatchesPool(t *testing.T) {
+	prob := parallelProblem(t)
+	r := rand.New(rand.NewSource(17))
+	cache := m3e.NewFitnessCache(prob, 0)
+	pool := m3e.NewPool(prob, 4)
+	recurring := encoding.Random(prob.NumJobs(), prob.NumAccels(), r)
+	for round := 0; round < 5; round++ {
+		var batch []encoding.Genome
+		for i := 0; i < 8; i++ {
+			batch = append(batch, encoding.Random(prob.NumJobs(), prob.NumAccels(), r))
+		}
+		batch = append(batch, recurring.Clone()) // cross-batch repeat (cache hit from round 2 on)
+		batch = append(batch, batch[0])          // verbatim in-batch duplicate
+		eq := batch[1].Clone()                   // schedule-equivalent: rescaled priorities
+		for j := range eq.Prio {
+			eq.Prio[j] *= 0.5
+		}
+		batch = append(batch, eq)
+		batch = append(batch, encoding.Genome{Accel: []int{0}, Prio: []float64{0.1}}) // invalid
+
+		got := make([]float64, len(batch))
+		cache.Evaluate(pool, batch, got)
+		want := make([]float64, len(batch))
+		m3e.NewPool(prob, 1).Evaluate(batch, want)
+		for i := range want {
+			if got[i] != want[i] && !(math.IsInf(got[i], -1) && math.IsInf(want[i], -1)) {
+				t.Fatalf("round %d: fit[%d] = %v, want %v", round, i, got[i], want[i])
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Deduped == 0 {
+		t.Error("batches contained duplicates and equivalent genomes; Deduped = 0")
+	}
+	if st.Invalid == 0 {
+		t.Error("batches contained an invalid genome; Invalid = 0")
+	}
+	if st.Hits < 4 {
+		t.Errorf("rounds 2-5 re-submitted a cached genome; Hits = %d, want >= 4", st.Hits)
+	}
+}
+
+// TestFitnessCacheReusedFitBuffer is a regression test: the runner
+// reuses one fit slice across batches, so a -Inf left at index i by an
+// earlier batch (invalid genome) must not leak into the next batch's
+// classification of a valid genome at the same index.
+func TestFitnessCacheReusedFitBuffer(t *testing.T) {
+	prob := parallelProblem(t)
+	r := rand.New(rand.NewSource(31))
+	cache := m3e.NewFitnessCache(prob, 0)
+	pool := m3e.NewPool(prob, 1)
+	fit := make([]float64, 2)
+
+	bad := encoding.Genome{Accel: []int{0}, Prio: []float64{0.1}}
+	first := []encoding.Genome{bad, encoding.Random(prob.NumJobs(), prob.NumAccels(), r)}
+	cache.Evaluate(pool, first, fit)
+	if !math.IsInf(fit[0], -1) {
+		t.Fatalf("invalid genome scored %v, want -Inf", fit[0])
+	}
+
+	second := []encoding.Genome{encoding.Random(prob.NumJobs(), prob.NumAccels(), r), first[1]}
+	cache.Evaluate(pool, second, fit) // fit[0] still holds the stale -Inf
+	want, err := prob.Evaluate(second[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit[0] != want {
+		t.Fatalf("valid genome at a previously -Inf index scored %v, want %v", fit[0], want)
+	}
+	if inv := cache.Stats().Invalid; inv != 1 {
+		t.Errorf("Invalid = %d, want 1 (only the genuinely invalid genome)", inv)
+	}
+}
+
+// TestFitnessCacheEviction pins the FIFO bound: the cache never exceeds
+// its capacity, keeps answering correctly after evicting, and re-misses
+// on evicted schedules.
+func TestFitnessCacheEviction(t *testing.T) {
+	prob := parallelProblem(t)
+	r := rand.New(rand.NewSource(23))
+	const capEntries = 4
+	cache := m3e.NewFitnessCache(prob, capEntries)
+	pool := m3e.NewPool(prob, 1)
+
+	batch := make([]encoding.Genome, 12)
+	for i := range batch {
+		batch[i] = encoding.Random(prob.NumJobs(), prob.NumAccels(), r)
+	}
+	fit := make([]float64, len(batch))
+	cache.Evaluate(pool, batch, fit)
+	if cache.Len() > capEntries {
+		t.Fatalf("cache holds %d entries, capacity %d", cache.Len(), capEntries)
+	}
+	if cache.Stats().Misses != 12 {
+		t.Fatalf("misses = %d, want 12", cache.Stats().Misses)
+	}
+
+	// Re-evaluate: the first 8 were evicted (FIFO), the last 4 must hit.
+	fit2 := make([]float64, len(batch))
+	cache.Evaluate(pool, batch, fit2)
+	if !reflect.DeepEqual(fit, fit2) {
+		t.Error("fitness changed across cache rounds")
+	}
+	st := cache.Stats()
+	if st.Hits != 4 {
+		t.Errorf("hits after eviction round = %d, want 4 (the %d newest survivors)", st.Hits, capEntries)
+	}
+	if cache.Len() > capEntries {
+		t.Errorf("cache grew to %d entries past capacity %d", cache.Len(), capEntries)
+	}
+}
+
+// TestRunCachedBatchBufferReuse smoke-tests a full cached MAGMA run end
+// to end and pins that elite re-asks actually register as hits.
+func TestRunCachedBatchBufferReuse(t *testing.T) {
+	prob := parallelProblem(t)
+	res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}),
+		m3e.Options{Budget: 400, Workers: 1, Cache: true}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.HitRate() <= 0 {
+		t.Errorf("hit rate = %v, want > 0 (elites repeat across generations)", res.Cache.HitRate())
+	}
+}

@@ -141,6 +141,18 @@ func (e *Evaluator) Evaluate(g encoding.Genome) (float64, error) {
 	return e.p.Fitness(res), nil
 }
 
+// EvaluateMapping scores an already-decoded mapping without re-decoding
+// or re-validating a genome. The fitness cache uses it to simulate each
+// representative straight from the mapping its fingerprint pass decoded,
+// so a cache miss still pays for exactly one decode.
+func (e *Evaluator) EvaluateMapping(m *sim.Mapping) (float64, error) {
+	res, err := e.sim.Run(e.p.Table, *m)
+	if err != nil {
+		return 0, err
+	}
+	return e.p.Fitness(res), nil
+}
+
 // EvaluateMapping scores an already-decoded mapping (used for the
 // manual-heuristic baselines, which bypass the encoding).
 func (p *Problem) EvaluateMapping(m sim.Mapping) (float64, sim.Result, error) {
@@ -184,6 +196,7 @@ type Result struct {
 	Samples     int         // evaluations actually consumed
 	Curve       []float64   // best-so-far fitness after each sample
 	Explored    [][]float64 // sampled vectors (only when RecordSamples)
+	Cache       CacheStats  // hit/miss counters (zero unless Options.Cache)
 }
 
 // Options tunes the runner.
@@ -194,6 +207,16 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 runs strictly serial. Results are
 	// bit-identical for every worker count (see Run).
 	Workers int
+	// Cache enables the schedule-fingerprint fitness cache: each Ask
+	// batch is deduplicated by decoded-schedule fingerprint and genomes
+	// whose schedule was already evaluated this run are answered from
+	// the cache. Results stay bit-identical to the uncached path —
+	// evaluation is pure, so a cached fitness equals a recomputed one —
+	// while redundant samples (re-Asked elites, equivalent offspring)
+	// skip the simulator. Result.Cache reports the hit/miss counters.
+	Cache bool
+	// CacheSize bounds the cache (entries). 0 means DefaultCacheSize.
+	CacheSize int
 }
 
 // Pool evaluates batches of genomes across a fixed set of workers, each
@@ -225,37 +248,74 @@ func (pl *Pool) Workers() int { return len(pl.evs) }
 // indices from a shared counter, so load balances even when evaluation
 // cost varies across genomes.
 func (pl *Pool) Evaluate(batch []encoding.Genome, fit []float64) {
-	eval := func(ev *Evaluator, i int) {
+	pl.each(len(batch), func(ev *Evaluator, i int) {
 		f, err := ev.Evaluate(batch[i])
 		if err != nil {
 			f = math.Inf(-1)
 		}
 		fit[i] = f
+	})
+}
+
+// fingerprint runs the fitness cache's phase 1 across the pool:
+// validate, decode into maps[i], and fingerprint every genome. ok[i]
+// records whether batch[i] validated (an invalid genome's mapping slot
+// is left untouched). Every output is written at its batch index, so
+// the result is independent of worker scheduling.
+func (pl *Pool) fingerprint(p *Problem, batch []encoding.Genome, maps []sim.Mapping, fps []encoding.Fingerprint, ok []bool) {
+	nJobs, nAccels := p.NumJobs(), p.NumAccels()
+	pl.each(len(batch), func(_ *Evaluator, i int) {
+		if err := batch[i].Validate(nJobs, nAccels); err != nil {
+			ok[i] = false
+			return
+		}
+		fps[i] = batch[i].FingerprintInto(nAccels, &maps[i])
+		ok[i] = true
+	})
+}
+
+// evaluateMapped simulates the representatives reps (indices into maps)
+// across the pool, writing fitness by representative slot. The mappings
+// are read-only during the call; each slot is touched by exactly one
+// worker.
+func (pl *Pool) evaluateMapped(maps []sim.Mapping, reps []int, fit []float64) {
+	pl.each(len(reps), func(ev *Evaluator, k int) {
+		f, err := ev.EvaluateMapping(&maps[reps[k]])
+		if err != nil {
+			f = math.Inf(-1)
+		}
+		fit[k] = f
+	})
+}
+
+// each runs f(worker, i) for every i in [0, n), fanning out across the
+// pool's evaluators. Workers pull indices from a shared atomic counter;
+// f must write results only at index-addressed locations.
+func (pl *Pool) each(n int, f func(ev *Evaluator, i int)) {
+	w := len(pl.evs)
+	if w > n {
+		w = n
 	}
-	n := len(pl.evs)
-	if n > len(batch) {
-		n = len(batch)
-	}
-	if n <= 1 {
-		for i := range batch {
-			eval(pl.evs[0], i)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(pl.evs[0], i)
 		}
 		return
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for w := 0; w < n; w++ {
+	wg.Add(w)
+	for k := 0; k < w; k++ {
 		go func(ev *Evaluator) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(batch) {
+				if i >= n {
 					return
 				}
-				eval(ev, i)
+				f(ev, i)
 			}
-		}(pl.evs[w])
+		}(pl.evs[k])
 	}
 	wg.Wait()
 }
@@ -272,6 +332,11 @@ const DefaultBudget = 10000
 // pure function of the genome, fitness lands at its batch index, and the
 // best/curve bookkeeping below replays the batch strictly in Ask order —
 // exactly the sequence the serial loop would have produced.
+//
+// Options.Cache additionally routes batches through the schedule-
+// fingerprint FitnessCache, which preserves the same contract: cached
+// and deduplicated fitness values are the ones the pool would have
+// recomputed, so cache on/off is also bit-identical.
 func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if o.Budget <= 0 {
 		o.Budget = DefaultBudget
@@ -281,8 +346,13 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 		return Result{}, fmt.Errorf("m3e: init %s: %w", opt.Name(), err)
 	}
 	pool := NewPool(p, o.Workers)
+	var cache *FitnessCache
+	if o.Cache {
+		cache = NewFitnessCache(p, o.CacheSize)
+	}
 	res := Result{Method: opt.Name(), BestFitness: math.Inf(-1)}
 	res.Curve = make([]float64, 0, o.Budget)
+	var fit []float64 // reused across batches
 	for res.Samples < o.Budget {
 		batch := opt.Ask()
 		if len(batch) == 0 {
@@ -291,8 +361,15 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 		if left := o.Budget - res.Samples; len(batch) > left {
 			batch = batch[:left]
 		}
-		fit := make([]float64, len(batch))
-		pool.Evaluate(batch, fit)
+		if cap(fit) < len(batch) {
+			fit = make([]float64, len(batch))
+		}
+		fit = fit[:len(batch)]
+		if cache != nil {
+			cache.Evaluate(pool, batch, fit)
+		} else {
+			pool.Evaluate(batch, fit)
+		}
 		for i, g := range batch {
 			res.Samples++
 			if fit[i] > res.BestFitness {
@@ -305,6 +382,9 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 			}
 		}
 		opt.Tell(batch, fit)
+	}
+	if cache != nil {
+		res.Cache = cache.Stats()
 	}
 	return res, nil
 }

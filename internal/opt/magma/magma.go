@@ -83,7 +83,29 @@ type Optimizer struct {
 	pop     []encoding.Genome
 	seeds   []encoding.Genome
 	inited  bool
+
+	// Generation scratch, reused across Tell calls so breeding performs
+	// no steady-state allocations: ranked is the sort buffer, elites the
+	// cloned parents, spare the retired population whose gene arrays the
+	// next generation is written into (see Tell for the aliasing rules).
+	ranked  []scored
+	elites  []encoding.Genome
+	spare   []encoding.Genome
+	fromMom []bool // crossoverAccel transplant marker
 }
+
+// scored pairs an individual with its fitness for elite selection.
+type scored struct {
+	g encoding.Genome
+	f float64
+}
+
+// byFitness stable-sorts scored individuals best-first.
+type byFitness []scored
+
+func (s byFitness) Len() int           { return len(s) }
+func (s byFitness) Less(i, j int) bool { return s[i].f > s[j].f }
+func (s byFitness) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
 // New builds a MAGMA optimizer with the given configuration.
 func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg} }
@@ -129,47 +151,85 @@ func (o *Optimizer) Ask() []encoding.Genome { return o.pop }
 
 // Tell implements m3e.Optimizer: it selects elites and breeds the next
 // generation with the MAGMA operators.
+//
+// Memory discipline: the told genomes are ranked in place (headers
+// only), the elites are deep-copied exactly once into reused scratch,
+// and the children are written into the gene arrays of the population
+// retired two generations ago (`spare`). That retired buffer is safe to
+// overwrite — the runner clones anything it keeps (Result.Best) before
+// Tell returns, and the current batch being told is a different slice.
+// Steady-state, a whole generation breeds without heap allocation.
 func (o *Optimizer) Tell(genomes []encoding.Genome, fitness []float64) {
-	type scored struct {
-		g encoding.Genome
-		f float64
-	}
-	ranked := make([]scored, len(genomes))
+	o.ranked = o.ranked[:0]
 	for i := range genomes {
-		ranked[i] = scored{genomes[i], fitness[i]}
+		o.ranked = append(o.ranked, scored{genomes[i], fitness[i]})
 	}
-	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].f > ranked[j].f })
+	sort.Stable(byFitness(o.ranked))
 
 	nElite := int(float64(o.cfg.Population) * o.cfg.EliteRatio)
 	if nElite < 2 {
 		nElite = 2
 	}
-	if nElite > len(ranked) {
-		nElite = len(ranked)
+	if nElite > len(o.ranked) {
+		nElite = len(o.ranked)
 	}
-	elites := make([]encoding.Genome, nElite)
+	o.elites = growGenomes(o.elites, nElite, o.nJobs)
 	for i := 0; i < nElite; i++ {
-		elites[i] = ranked[i].g.Clone()
+		copyGenome(&o.elites[i], o.ranked[i].g)
 	}
 
-	next := make([]encoding.Genome, 0, o.cfg.Population)
-	for _, e := range elites {
-		next = append(next, e.Clone())
+	next := growGenomes(o.spare, o.cfg.Population, o.nJobs)
+	for i := 0; i < nElite; i++ {
+		copyGenome(&next[i], o.elites[i])
 	}
-	for len(next) < o.cfg.Population {
-		dad := elites[o.rng.Intn(nElite)]
-		mom := elites[o.rng.Intn(nElite)]
-		child := o.breed(dad, mom)
-		next = append(next, child)
+	for i := nElite; i < len(next); i++ {
+		dad := o.elites[o.rng.Intn(nElite)]
+		mom := o.elites[o.rng.Intn(nElite)]
+		copyGenome(&next[i], dad)
+		o.cross(next[i], mom)
 	}
+	o.spare = o.pop
 	o.pop = next
 }
 
+// growGenomes resizes a genome scratch slice to n individuals of nJobs
+// genes each, reusing every already-grown gene array.
+func growGenomes(s []encoding.Genome, n, nJobs int) []encoding.Genome {
+	if cap(s) < n {
+		grown := make([]encoding.Genome, n)
+		copy(grown, s)
+		s = grown
+	}
+	s = s[:n]
+	for i := range s {
+		if cap(s[i].Accel) < nJobs {
+			s[i].Accel = make([]int, nJobs)
+			s[i].Prio = make([]float64, nJobs)
+		}
+		s[i].Accel = s[i].Accel[:nJobs]
+		s[i].Prio = s[i].Prio[:nJobs]
+	}
+	return s
+}
+
+// copyGenome copies src's genes into dst (dst must be pre-sized).
+func copyGenome(dst *encoding.Genome, src encoding.Genome) {
+	copy(dst.Accel, src.Accel)
+	copy(dst.Prio, src.Prio)
+}
+
 // breed produces one child from two parents through the operator
-// pipeline of Fig. 6: the crossovers each fire at their own rate, then
-// mutation always applies.
+// pipeline of Fig. 6 (allocating form, kept for tests and one-off
+// callers; Tell writes children into reused scratch instead).
 func (o *Optimizer) breed(dad, mom encoding.Genome) encoding.Genome {
 	child := dad.Clone()
+	o.cross(child, mom)
+	return child
+}
+
+// cross applies the operator pipeline of Fig. 6 to child in place: the
+// crossovers each fire at their own rate, then mutation always applies.
+func (o *Optimizer) cross(child, mom encoding.Genome) {
 	if !o.cfg.DisableCrossoverGen && o.rng.Float64() < o.cfg.CrossoverGenRate {
 		o.crossoverGen(child, mom)
 	}
@@ -180,7 +240,6 @@ func (o *Optimizer) breed(dad, mom encoding.Genome) encoding.Genome {
 		o.crossoverAccel(child, mom)
 	}
 	o.mutate(child)
-	return child
 }
 
 // mutate re-rolls each gene independently with probability MutationRate.
@@ -223,7 +282,13 @@ func (o *Optimizer) crossoverRG(child, mom encoding.Genome) {
 // load balanced.
 func (o *Optimizer) crossoverAccel(child, mom encoding.Genome) {
 	a := o.rng.Intn(o.nAccels)
-	fromMom := make([]bool, o.nJobs)
+	if cap(o.fromMom) < o.nJobs {
+		o.fromMom = make([]bool, o.nJobs)
+	}
+	fromMom := o.fromMom[:o.nJobs]
+	for j := range fromMom {
+		fromMom[j] = false
+	}
 	for j := 0; j < o.nJobs; j++ {
 		if mom.Accel[j] == a {
 			fromMom[j] = true

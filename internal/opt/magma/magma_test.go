@@ -268,6 +268,65 @@ func TestWarmStore(t *testing.T) {
 	}
 }
 
+// TestTellScratchReuse drives several generations through the Ask/Tell
+// loop and checks the scratch-reusing breeder never aliases live
+// genomes: the told batch must be untouched by the Tell that consumes
+// it, and populations stay structurally valid across buffer swaps.
+func TestTellScratchReuse(t *testing.T) {
+	o := newInited(t, Config{Population: 12}, 20)
+	r := rand.New(rand.NewSource(19))
+	for gen := 0; gen < 6; gen++ {
+		pop := o.Ask()
+		snapshot := make([]encoding.Genome, len(pop))
+		for i, g := range pop {
+			snapshot[i] = g.Clone()
+		}
+		fit := make([]float64, len(pop))
+		for i := range fit {
+			fit[i] = r.Float64()
+		}
+		o.Tell(pop, fit)
+		for i, g := range pop {
+			for j := range g.Accel {
+				if g.Accel[j] != snapshot[i].Accel[j] || g.Prio[j] != snapshot[i].Prio[j] {
+					t.Fatalf("gen %d: Tell mutated told genome %d in place", gen, i)
+				}
+			}
+		}
+		next := o.Ask()
+		if len(next) != 12 {
+			t.Fatalf("gen %d: population = %d, want 12", gen, len(next))
+		}
+		for i, g := range next {
+			if err := g.Validate(20, o.nAccels); err != nil {
+				t.Fatalf("gen %d: individual %d invalid: %v", gen, i, err)
+			}
+		}
+	}
+}
+
+// TestTellSteadyStateAllocs pins the satellite optimization: after the
+// scratch buffers are warm, a whole selection+breeding step allocates
+// only O(1) bookkeeping (the sort.Stable interface header), not O(pop)
+// genome clones.
+func TestTellSteadyStateAllocs(t *testing.T) {
+	o := newInited(t, Config{Population: 24}, 20)
+	r := rand.New(rand.NewSource(29))
+	fit := make([]float64, 24)
+	for warm := 0; warm < 3; warm++ { // grow ranked/elites/spare
+		for i := range fit {
+			fit[i] = r.Float64()
+		}
+		o.Tell(o.Ask(), fit)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		o.Tell(o.Ask(), fit)
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state Tell allocates %.1f times, want <= 2", allocs)
+	}
+}
+
 // Property: breed always yields a structurally valid genome.
 func TestQuickBreedValidity(t *testing.T) {
 	o := newInited(t, Config{}, 30)

@@ -33,6 +33,27 @@ type Simulator struct {
 	jobRuns []JobRun  // Result.JobRuns backing
 	busy    []float64 // Result.BusyCycles backing
 	frames  []Frame   // Result.Frames backing (CaptureFrames only)
+
+	// Per-table constants, memoized on first Run against a table: the
+	// group's total work and the platform's PE count are invariants of
+	// the problem, not of the mapping, and walking every job's layer
+	// descriptor per simulation dominated the post-loop bookkeeping.
+	memoTable  *analyzer.Table
+	totalFLOPs float64
+	totalPEs   float64
+}
+
+// tableConstants returns the memoized per-table invariants, refreshing
+// the memo when the simulator is pointed at a different table.
+func (s *Simulator) tableConstants(t *analyzer.Table) (totalFLOPs, totalPEs float64) {
+	if s.memoTable != t {
+		var pes float64
+		for _, sa := range t.Platform.SubAccels {
+			pes += float64(sa.Config.PEs())
+		}
+		s.memoTable, s.totalFLOPs, s.totalPEs = t, float64(t.Group.TotalFLOPs()), pes
+	}
+	return s.totalFLOPs, s.totalPEs
 }
 
 // NewSimulator builds a reusable simulator with the given options.
@@ -181,13 +202,10 @@ func (s *Simulator) Run(t *analyzer.Table, m Mapping) (Result, error) {
 		res.Frames = s.frames
 	}
 	res.Seconds = now / platform.ClockHz
+	totalFLOPs, totalPEs := s.tableConstants(t)
 	if res.Seconds > 0 {
-		res.ThroughputGFLOPs = float64(t.Group.TotalFLOPs()) / res.Seconds / 1e9
+		res.ThroughputGFLOPs = totalFLOPs / res.Seconds / 1e9
 	}
-	var pes float64
-	for _, sa := range t.Platform.SubAccels {
-		pes += float64(sa.Config.PEs())
-	}
-	res.Energy = jobEnergy + leakagePerPEPerCycle*pes*res.TotalCycles
+	res.Energy = jobEnergy + leakagePerPEPerCycle*totalPEs*res.TotalCycles
 	return res, nil
 }

@@ -127,10 +127,21 @@ type Options struct {
 	// worker count, so parallelism never costs reproducibility. Compare
 	// uses the same bound to run mappers concurrently.
 	Workers int
+	// Cache enables the schedule-fingerprint fitness cache: duplicate
+	// and schedule-equivalent genomes inside and across generations are
+	// answered without re-simulating. Results are bit-identical with the
+	// cache on or off; Schedule.Cache reports the hit/miss counters.
+	Cache bool
+	// CacheSize bounds the cache in entries (0 = implementation default).
+	CacheSize int
 	// WarmStart seeds MAGMA's initial population with previously found
 	// schedules of the same group size (§V-C). Ignored by other mappers.
 	WarmStart []Schedule
 }
+
+// CacheStats reports how the fitness cache resolved evaluations (see
+// Options.Cache).
+type CacheStats = m3e.CacheStats
 
 // Schedule is a found global mapping together with its evaluation.
 type Schedule struct {
@@ -149,6 +160,9 @@ type Schedule struct {
 	Curve []float64
 	// Mapper names the algorithm that produced the schedule.
 	Mapper string
+	// Cache holds the fitness-cache counters of the search (zero unless
+	// Options.Cache was set; always zero for the manual heuristics).
+	Cache CacheStats
 }
 
 // MapperNames lists the supported Options.Mapper values in Table IV
@@ -225,11 +239,21 @@ func optimizeProblem(prob *m3e.Problem, g Group, opts Options) (Schedule, error)
 			seeder.Seed(seeds)
 		}
 	}
-	res, err := m3e.Run(prob, opt, m3e.Options{Budget: opts.Budget, Workers: opts.Workers}, opts.Seed)
+	res, err := m3e.Run(prob, opt, m3e.Options{
+		Budget:    opts.Budget,
+		Workers:   opts.Workers,
+		Cache:     opts.Cache,
+		CacheSize: opts.CacheSize,
+	}, opts.Seed)
 	if err != nil {
 		return Schedule{}, err
 	}
-	return finishSchedule(prob, res.BestMapping(prob.NumAccels()), res.Best, res.Curve, res.Method, opts.Objective)
+	s, err := finishSchedule(prob, res.BestMapping(prob.NumAccels()), res.Best, res.Curve, res.Method, opts.Objective)
+	if err != nil {
+		return Schedule{}, err
+	}
+	s.Cache = res.Cache
+	return s, nil
 }
 
 func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Genome, curve []float64, mapper string, obj Objective) (Schedule, error) {

@@ -122,6 +122,33 @@ func TestWorkersReproducible(t *testing.T) {
 	}
 }
 
+// TestCacheReproducible pins the facade-level contract of the fitness
+// cache: Optimize returns the identical schedule with the cache on or
+// off, at any worker count, and reports its hit/miss counters.
+func TestCacheReproducible(t *testing.T) {
+	g := testGroup(t, Mix, 16)
+	base, err := Optimize(g, PlatformS2(), Options{Budget: 150, Seed: 6, Workers: 1})
+	if err != nil {
+		t.Fatalf("Optimize uncached: %v", err)
+	}
+	if base.Cache != (CacheStats{}) {
+		t.Errorf("uncached schedule reports cache counters: %+v", base.Cache)
+	}
+	for _, workers := range []int{1, 4} {
+		s, err := Optimize(g, PlatformS2(), Options{Budget: 150, Seed: 6, Workers: workers, Cache: true})
+		if err != nil {
+			t.Fatalf("Optimize cached workers=%d: %v", workers, err)
+		}
+		if s.Fitness != base.Fitness || s.MakespanCycles != base.MakespanCycles {
+			t.Errorf("cached workers=%d: schedule differs from uncached (fitness %v vs %v)",
+				workers, s.Fitness, base.Fitness)
+		}
+		if total := s.Cache.Hits + s.Cache.Deduped + s.Cache.Misses + s.Cache.Invalid; total != 150 {
+			t.Errorf("cached workers=%d: counters cover %d samples, want 150", workers, total)
+		}
+	}
+}
+
 func TestWarmStartViaPublicAPI(t *testing.T) {
 	g := testGroup(t, Recommendation, 16)
 	first, err := Optimize(g, PlatformS2(), Options{Budget: 300, Seed: 5})

@@ -22,6 +22,11 @@ type StreamOptions struct {
 	// search (0 = all cores). Groups themselves stay sequential: warm
 	// starting chains each group on its predecessors' schedules.
 	Workers int
+	// Cache enables the schedule-fingerprint fitness cache per group
+	// search (results are bit-identical either way; see Options.Cache).
+	Cache bool
+	// CacheSize bounds each group's cache in entries (0 = default).
+	CacheSize int
 	// WarmStart chains groups: each group's search is seeded with the
 	// best schedules of earlier groups of the same task type (§V-C).
 	// Only effective for MAGMA.
@@ -39,6 +44,9 @@ type StreamResult struct {
 	TotalSeconds float64
 	// ThroughputGFLOPs is the aggregate stream throughput.
 	ThroughputGFLOPs float64
+	// Cache aggregates the fitness-cache counters across all group
+	// searches (zero unless StreamOptions.Cache).
+	Cache CacheStats
 }
 
 // OptimizeStream schedules every group of a workload in sequence — the
@@ -66,6 +74,8 @@ func OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, 
 			Budget:    budget,
 			Seed:      opts.Seed + int64(gi),
 			Workers:   opts.Workers,
+			Cache:     opts.Cache,
+			CacheSize: opts.CacheSize,
 		}
 		if opts.WarmStart {
 			o.WarmStart = store.Seeds(wl.Task, len(g.Jobs))
@@ -78,6 +88,7 @@ func OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, 
 			store.Record(wl.Task, s)
 		}
 		res.Schedules = append(res.Schedules, s)
+		res.Cache.Add(s.Cache)
 		totalFLOPs += g.TotalFLOPs()
 		res.TotalSeconds += s.MakespanCycles / clockHz()
 	}
@@ -109,7 +120,10 @@ func Tune(g Group, p Platform, budget int, trials int, seed int64) ([]float64, f
 			CrossoverAccelRate: pt[3],
 			EliteRatio:         pt[4],
 		}
-		res, err := m3e.Run(prob, optmagma.New(cfg), m3e.Options{Budget: budget}, seed)
+		// The cache is pure wall-clock savings here: the tuner re-runs
+		// MAGMA on the identical problem every trial, the most
+		// repetition-heavy search loop in the codebase.
+		res, err := m3e.Run(prob, optmagma.New(cfg), m3e.Options{Budget: budget, Cache: true}, seed)
 		if err != nil {
 			return 0
 		}
