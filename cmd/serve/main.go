@@ -1,0 +1,98 @@
+// Command serve exposes the library as an HTTP service backed by one
+// long-lived, shared magma.Solver: concurrent requests reuse analysis
+// tables, evaluator pools and the cross-run schedule cache, and the
+// JSON responses report the reuse (engine.cross_request_hit_rate).
+//
+// Usage:
+//
+//	serve                      # listen on :8080
+//	serve -addr :9000 -maxproblems 128 -cachesize 131072
+//
+// Endpoints:
+//
+//	POST /optimize   {"generate":{"task":"Mix","num_jobs":32,"group_size":16,"seed":1},
+//	                  "platform":"S2","options":{"budget_per_group":400,"seed":1}}
+//	                 or {"workload":{...jobgen document...},...}
+//	GET  /stats      engine lifetime counters
+//	GET  /healthz    liveness probe
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"magma"
+	"magma/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxProblems = flag.Int("maxproblems", 0, "cached problems bound (0 = default 64)")
+		cacheSize   = flag.Int("cachesize", 0, "per-problem fitness store bound in entries (0 = default)")
+		warmLimit   = flag.Int("warmlimit", 0, "shared warm-store schedules per task (0 = default 8)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("serve: ")
+
+	solver := magma.NewSolver(magma.SolverOptions{
+		MaxProblems: *maxProblems,
+		CacheSize:   *cacheSize,
+		WarmLimit:   *warmLimit,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: logRequests(serve.New(solver).Handler()),
+		// Searches are CPU-bound and can run long; only bound the header
+		// read so a stuck client cannot pin a connection pre-request.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s (shared solver: one engine for all requests)", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// logRequests logs one line per request: method, path, status, elapsed.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,116 @@
+package encoding_test
+
+import (
+	"testing"
+
+	"magma/internal/encoding"
+	"magma/internal/layer"
+	"magma/internal/models"
+	"magma/internal/platform"
+	"magma/internal/workload"
+)
+
+// Golden TableIdentity of the fixed single-job problem below; see
+// TestTableIdentityStable.
+const (
+	goldenA = uint64(0x5c716d65f861bfc5)
+	goldenB = uint64(0x0a30436e8f780f29)
+)
+
+func tkGroup(t *testing.T, seed int64) workload.Group {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{Task: models.Mix, NumJobs: 16, GroupSize: 16, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Groups[0]
+}
+
+// TestTableIdentityContentEquality: equal content (regenerated from the
+// same spec, or deep-copied) hashes equally — pointer identity never
+// leaks in.
+func TestTableIdentityContentEquality(t *testing.T) {
+	g1, g2 := tkGroup(t, 5), tkGroup(t, 5)
+	p1, p2 := platform.S2(), platform.S2()
+	k1 := encoding.TableIdentity(g1, p1)
+	k2 := encoding.TableIdentity(g2, p2)
+	if k1 != k2 {
+		t.Errorf("identical content, different keys: %v vs %v", k1, k2)
+	}
+	// Cosmetic fields (names) are analyzer-invisible and must not change
+	// the key.
+	g3 := tkGroup(t, 5)
+	for i := range g3.Jobs {
+		g3.Jobs[i].Model = "renamed"
+		g3.Jobs[i].Layer.Name = "renamed"
+	}
+	p3 := platform.S2()
+	p3.Name = "renamed"
+	if encoding.TableIdentity(g3, p3) != k1 {
+		t.Error("renaming models/layers/platform changed the key; names never reach the cost model")
+	}
+}
+
+// TestTableIdentityDiscriminates: every analyzer-visible change must
+// move the key.
+func TestTableIdentityDiscriminates(t *testing.T) {
+	base := tkGroup(t, 5)
+	pf := platform.S2()
+	key := encoding.TableIdentity(base, pf)
+
+	perturb := []struct {
+		name string
+		make func() (workload.Group, platform.Platform)
+	}{
+		{"different group content", func() (workload.Group, platform.Platform) {
+			return tkGroup(t, 6), pf
+		}},
+		{"one batch size", func() (workload.Group, platform.Platform) {
+			g := tkGroup(t, 5)
+			g.Jobs[3].Batch++
+			return g, pf
+		}},
+		{"one layer dimension", func() (workload.Group, platform.Platform) {
+			g := tkGroup(t, 5)
+			g.Jobs[7].Layer.K++
+			return g, pf
+		}},
+		{"job order", func() (workload.Group, platform.Platform) {
+			g := tkGroup(t, 5)
+			g.Jobs[0], g.Jobs[1] = g.Jobs[1], g.Jobs[0]
+			return g, pf
+		}},
+		{"system bandwidth", func() (workload.Group, platform.Platform) {
+			return tkGroup(t, 5), pf.WithBW(32)
+		}},
+		{"platform setting", func() (workload.Group, platform.Platform) {
+			return tkGroup(t, 5), platform.S1()
+		}},
+		{"flexible PE arrays", func() (workload.Group, platform.Platform) {
+			return tkGroup(t, 5), pf.WithFlexible()
+		}},
+	}
+	for _, p := range perturb {
+		g2, p2 := p.make()
+		if encoding.TableIdentity(g2, p2) == key {
+			t.Errorf("%s: key unchanged", p.name)
+		}
+	}
+}
+
+// TestTableIdentityStable pins one golden value: the key must be stable
+// across process runs (a long-lived server may persist identities).
+// Changing the hash scheme invalidates persisted identities — update
+// the golden deliberately when doing so.
+func TestTableIdentityStable(t *testing.T) {
+	g := workload.Group{Jobs: []workload.Job{{
+		ID: 0, Task: models.Vision, Batch: 2,
+		Layer: layer.NewConv("golden", 64, 3, 224, 224, 7, 7, 2),
+	}}}
+	got := encoding.TableIdentity(g, platform.S1())
+	want := encoding.TableKey{A: goldenA, B: goldenB}
+	if got != want {
+		t.Fatalf("golden key moved: got %#x/%#x, want %#x/%#x — only acceptable on a deliberate scheme change",
+			got.A, got.B, want.A, want.B)
+	}
+}

@@ -1,0 +1,233 @@
+package engine_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"magma/internal/engine"
+	"magma/internal/m3e"
+	"magma/internal/models"
+	optmagma "magma/internal/opt/magma"
+	"magma/internal/platform"
+	"magma/internal/workload"
+)
+
+func engGroup(t testing.TB, seed int64) workload.Group {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{Task: models.Mix, NumJobs: 16, GroupSize: 16, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Groups[0]
+}
+
+// TestEngineTableReuse: repeated acquisitions of the same content build
+// the analysis table once; a new objective on the same content reuses
+// the table through a distinct problem entry.
+func TestEngineTableReuse(t *testing.T) {
+	e := engine.New(engine.Config{})
+	g, pf := engGroup(t, 5), platform.S2()
+
+	h1, err := e.Problem(g, pf, m3e.Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Problem(engGroup(t, 5), pf, m3e.Throughput) // regenerated, equal content
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Prob() != h2.Prob() {
+		t.Error("equal-content acquisitions returned distinct problems")
+	}
+	hLat, err := e.Problem(g, pf, m3e.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hLat.Prob() == h1.Prob() {
+		t.Error("objectives must get distinct problems")
+	}
+	if hLat.Prob().Table != h1.Prob().Table {
+		t.Error("a new objective on known content must reuse the analysis table")
+	}
+	st := e.Stats()
+	if st.TablesBuilt != 1 {
+		t.Errorf("TablesBuilt = %d, want 1", st.TablesBuilt)
+	}
+	if st.TablesReused != 2 {
+		t.Errorf("TablesReused = %d, want 2", st.TablesReused)
+	}
+}
+
+// TestEngineRunMatchesPlainRun: a pooled, store-backed engine run is
+// bit-identical to a plain m3e.Run, and repeats register cross-run hits.
+func TestEngineRunMatchesPlainRun(t *testing.T) {
+	g, pf := engGroup(t, 7), platform.S2()
+	prob, err := m3e.NewProblem(g, pf, m3e.Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{Budget: 200, Workers: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := engine.New(engine.Config{})
+	h, err := e.Problem(g, pf, m3e.Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 2; rep++ {
+		res, err := h.Run(optmagma.New(optmagma.Config{}), m3e.Options{Budget: 200, Workers: 1, Cache: true}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BestFitness != cold.BestFitness || !reflect.DeepEqual(res.Best, cold.Best) ||
+			!reflect.DeepEqual(res.Curve, cold.Curve) {
+			t.Errorf("rep %d: engine run differs from plain run", rep)
+		}
+		if rep == 1 && res.Cache.CrossHits == 0 {
+			t.Error("repeat run reports no cross-run hits")
+		}
+	}
+	st := e.Stats()
+	if st.Searches != 2 {
+		t.Errorf("Searches = %d, want 2", st.Searches)
+	}
+	if st.PoolsBuilt != 1 || st.PoolsReused != 1 {
+		t.Errorf("pools built/reused = %d/%d, want 1/1 (sequential runs share one pool)",
+			st.PoolsBuilt, st.PoolsReused)
+	}
+	if st.Cache.CrossHits == 0 {
+		t.Error("engine stats aggregate no cross-run hits")
+	}
+}
+
+// TestEngineEviction: the problem cache is FIFO-bounded; evicted
+// content is rebuilt on return.
+func TestEngineEviction(t *testing.T) {
+	e := engine.New(engine.Config{MaxProblems: 2})
+	pf := platform.S2()
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := e.Problem(engGroup(t, seed), pf, m3e.Throughput); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.ProblemsEvicted != 1 {
+		t.Fatalf("ProblemsEvicted = %d, want 1", st.ProblemsEvicted)
+	}
+	if st.TablesBuilt != 3 {
+		t.Fatalf("TablesBuilt = %d, want 3", st.TablesBuilt)
+	}
+	// Seed 1 was the FIFO victim: re-acquiring it rebuilds.
+	if _, err := e.Problem(engGroup(t, 1), pf, m3e.Throughput); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().TablesBuilt; got != 4 {
+		t.Errorf("TablesBuilt after re-acquire = %d, want 4 (evicted content rebuilds)", got)
+	}
+}
+
+// TestEngineProblemError: an invalid problem (fewer jobs than cores)
+// surfaces its error on every acquisition, and failed builds never
+// occupy cache slots — a stream of distinct bad requests must not
+// evict valid hot tables.
+func TestEngineProblemError(t *testing.T) {
+	e := engine.New(engine.Config{MaxProblems: 2})
+	if _, err := e.Problem(engGroup(t, 5), platform.S2(), m3e.Throughput); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		g := engGroup(t, seed)
+		g.Jobs = g.Jobs[:2] // S2 has 4 sub-accelerators
+		for i := 0; i < 2; i++ {
+			if _, err := e.Problem(g, platform.S2(), m3e.Throughput); err == nil {
+				t.Fatalf("seed %d acquisition %d: undersized group accepted", seed, i)
+			}
+		}
+	}
+	// The valid table must still be resident: re-acquiring it cannot
+	// trigger a rebuild or an eviction.
+	if _, err := e.Problem(engGroup(t, 5), platform.S2(), m3e.Throughput); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.ProblemsEvicted != 0 {
+		t.Errorf("ProblemsEvicted = %d, want 0 (error entries must not occupy FIFO slots)", st.ProblemsEvicted)
+	}
+	if st.TablesReused == 0 {
+		t.Error("valid table was not reused after a stream of bad requests")
+	}
+}
+
+// TestEngineValidatesOnCacheHit: validation must not depend on cache
+// warmth. TableIdentity excludes ID numbering (analyzer-invisible), so
+// a mis-numbered input hashing onto a warm valid problem must still be
+// rejected exactly like a cold call would.
+func TestEngineValidatesOnCacheHit(t *testing.T) {
+	e := engine.New(engine.Config{})
+	g := engGroup(t, 5)
+	if _, err := e.Problem(g, platform.S2(), m3e.Throughput); err != nil {
+		t.Fatal(err)
+	}
+	bad := engGroup(t, 5)
+	for i := range bad.Jobs {
+		bad.Jobs[i].ID = 0
+	}
+	if _, err := e.Problem(bad, platform.S2(), m3e.Throughput); err == nil {
+		t.Error("mis-numbered jobs accepted on the warm path")
+	}
+	badPf := platform.S2()
+	badPf.SubAccels = append([]platform.SubAccel(nil), badPf.SubAccels...)
+	badPf.SubAccels[1].ID = 0
+	if _, err := e.Problem(g, badPf, m3e.Throughput); err == nil {
+		t.Error("mis-numbered sub-accelerators accepted on the warm path")
+	}
+}
+
+// TestEngineConcurrentAcquire: concurrent requests for one identity
+// share a single build and all runs stay bit-identical to a cold run
+// (exercised under -race in CI).
+func TestEngineConcurrentAcquire(t *testing.T) {
+	g, pf := engGroup(t, 9), platform.S2()
+	prob, err := m3e.NewProblem(g, pf, m3e.Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{Budget: 120, Workers: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := engine.New(engine.Config{})
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	results := make([]m3e.Result, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h, err := e.Problem(g, pf, m3e.Throughput)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			results[c], errs[c] = h.Run(optmagma.New(optmagma.Config{}),
+				m3e.Options{Budget: 120, Workers: 1, Cache: true}, 4)
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		if results[c].BestFitness != cold.BestFitness || !reflect.DeepEqual(results[c].Curve, cold.Curve) {
+			t.Errorf("client %d: concurrent shared run differs from cold run", c)
+		}
+	}
+	if got := e.Stats().TablesBuilt; got != 1 {
+		t.Errorf("TablesBuilt = %d, want 1 (concurrent acquisitions share one build)", got)
+	}
+}

@@ -43,6 +43,26 @@ func (c Config) runOpts(budget int) m3e.Options {
 	return m3e.Options{Budget: budget, Workers: c.Workers, Cache: c.Cache}
 }
 
+// runOptsShared is runOpts backed by a shared cross-run fitness store.
+// Experiments that search the *same problem* repeatedly — a mapper
+// comparison, an operator ablation, a repetition sweep — pass one store
+// per problem so later runs answer schedules earlier runs evaluated.
+// Results stay bit-identical (fitness is a pure function of the decoded
+// schedule); only simulator traffic drops. Store sharing respects
+// c.Cache so -cache=false still disables all caching.
+func (c Config) runOptsShared(budget int, store *m3e.CacheStore) m3e.Options {
+	o := c.runOpts(budget)
+	if o.Cache {
+		o.Store = store
+	}
+	return o
+}
+
+// newStore builds a fitness store for one problem's searches. An unused
+// store is a few hundred bytes, so figure loops allocate one
+// unconditionally; runOptsShared wires it in only when c.Cache is set.
+func newStore() *m3e.CacheStore { return m3e.NewCacheStore(0) }
+
 // Quick returns the fast-suite configuration (CI-friendly). The fitness
 // cache is on: it only skips provably redundant simulations.
 func Quick() Config {

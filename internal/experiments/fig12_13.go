@@ -55,8 +55,10 @@ func runFig12(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
+			// One store per (group, BW) problem, shared by the mapper loop.
+			store := newStore()
 			for mi, m := range fig12Methods {
-				fit, _, err := RunMethod(prob, m, c.runOpts(c.Budget), c.Seed+int64(mi))
+				fit, _, err := RunMethod(prob, m, c.runOptsShared(c.Budget, store), c.Seed+int64(mi))
 				if err != nil {
 					return err
 				}

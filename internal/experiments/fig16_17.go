@@ -58,12 +58,15 @@ func runFig16(c Config, w io.Writer) error {
 			t.Headers = append(t.Headers, fmt.Sprintf("@%d", int(f*float64(c.Budget))))
 		}
 		// Identical seeds across variants (same initial populations) so
-		// differences isolate the operators; averaged over repeats.
+		// differences isolate the operators; averaged over repeats. One
+		// shared fitness store spans variants × repeats on this problem:
+		// same-seed variants re-walk largely overlapping schedule sets.
+		store := newStore()
 		const repeats = 3
 		for _, v := range variants {
 			sum := make([]float64, len(checkFracs))
 			for rep := 0; rep < repeats; rep++ {
-				res, err := m3e.Run(prob, optmagma.New(v.cfg), c.runOpts(c.Budget), c.Seed+int64(rep))
+				res, err := m3e.Run(prob, optmagma.New(v.cfg), c.runOptsShared(c.Budget, store), c.Seed+int64(rep))
 				if err != nil {
 					return err
 				}

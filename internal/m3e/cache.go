@@ -2,6 +2,7 @@ package m3e
 
 import (
 	"math"
+	"sync"
 
 	"magma/internal/encoding"
 	"magma/internal/sim"
@@ -17,6 +18,11 @@ const DefaultCacheSize = 1 << 16
 type CacheStats struct {
 	// Hits are evaluations answered by the cross-generation cache.
 	Hits uint64
+	// CrossHits is the subset of Hits answered by an entry inserted by a
+	// *different* run sharing the same CacheStore — the cross-group /
+	// cross-request reuse a long-lived engine provides. Always zero when
+	// the store is private to one run.
+	CrossHits uint64
 	// Deduped are in-batch duplicates folded onto a representative
 	// evaluated in the same batch.
 	Deduped uint64
@@ -37,13 +43,112 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits+s.Deduped) / float64(total)
 }
 
+// CrossHitRate is the fraction of decodable evaluations answered by an
+// entry another run inserted: CrossHits / (Hits+Deduped+Misses). It is
+// the shared-store payoff a single run can never produce on its own.
+func (s CacheStats) CrossHitRate() float64 {
+	total := s.Hits + s.Deduped + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CrossHits) / float64(total)
+}
+
 // Add accumulates another run's counters (used by callers aggregating
 // multiple searches, e.g. OptimizeStream).
 func (s *CacheStats) Add(o CacheStats) {
 	s.Hits += o.Hits
+	s.CrossHits += o.CrossHits
 	s.Deduped += o.Deduped
 	s.Misses += o.Misses
 	s.Invalid += o.Invalid
+}
+
+// storeEntry is one memoized fitness plus the id of the run that
+// inserted it (for cross-run hit accounting).
+type storeEntry struct {
+	fit float64
+	run uint64
+}
+
+// CacheStore is the sharable storage behind FitnessCache: a bounded
+// fingerprint→fitness map that may outlive any single run and be shared
+// by several concurrent ones. Fitness is a pure function of the decoded
+// schedule, so a stored float64 equals a recomputed one no matter which
+// run inserted it — sharing a store across runs of the *same problem*
+// (same group content, platform and objective) never changes results,
+// only wall-clock. Never share a store across distinct problems: the
+// fingerprint does not cover the dimensions, and fitness depends on the
+// table and objective (internal/engine keys stores by table identity ×
+// objective for exactly this reason).
+//
+// All methods are safe for concurrent use. Eviction is FIFO over
+// insertion order; under concurrency the interleaving of inserts can
+// vary, which may change *which* entries a later lookup finds (a hit
+// becoming a miss re-simulates the identical value), but never the
+// fitness a run observes.
+type CacheStore struct {
+	mu       sync.RWMutex
+	capacity int
+	entries  map[encoding.Fingerprint]storeEntry
+	// fifo is the eviction ring: once len(entries) reaches capacity the
+	// oldest insertion is dropped. FIFO keeps eviction deterministic
+	// (map iteration order never leaks into behavior) and O(1).
+	fifo []encoding.Fingerprint
+	next int
+	runs uint64 // run-id allocator for cross-run hit accounting
+}
+
+// NewCacheStore builds a store bounded to capacity entries (<= 0 means
+// DefaultCacheSize).
+func NewCacheStore(capacity int) *CacheStore {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &CacheStore{
+		capacity: capacity,
+		entries:  make(map[encoding.Fingerprint]storeEntry),
+		// fifo grows by append up to capacity; preallocating the whole
+		// ring would charge every short run the full bound (~1 MiB at
+		// the default capacity).
+	}
+}
+
+// Len returns the number of cached fingerprints (bounded by capacity).
+func (s *CacheStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// beginRun allocates a run id, distinguishing this run's insertions
+// from earlier ones when accounting cross-run hits.
+func (s *CacheStore) beginRun() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs++
+	return s.runs
+}
+
+// insertLocked stores one fingerprint, evicting FIFO at capacity. The
+// caller holds s.mu. A fingerprint already present keeps its original
+// slot in the ring (the incoming value is bit-identical by purity).
+func (s *CacheStore) insertLocked(fp encoding.Fingerprint, v float64, run uint64) {
+	if _, ok := s.entries[fp]; ok {
+		return
+	}
+	if len(s.fifo) < s.capacity {
+		s.entries[fp] = storeEntry{fit: v, run: run}
+		s.fifo = append(s.fifo, fp)
+		return
+	}
+	delete(s.entries, s.fifo[s.next])
+	s.entries[fp] = storeEntry{fit: v, run: run}
+	s.fifo[s.next] = fp
+	s.next++
+	if s.next == len(s.fifo) {
+		s.next = 0
+	}
 }
 
 // FitnessCache memoizes genome fitness by schedule fingerprint and
@@ -61,19 +166,16 @@ func (s *CacheStats) Add(o CacheStats) {
 //
 // A FitnessCache belongs to one run at a time (its batch scratch is
 // reused across Evaluate calls); like an Evaluator it must not be
-// shared between goroutines. It is bound to one Problem — fitness
-// depends on the group, platform and objective, so never reuse a cache
-// across problems.
+// shared between goroutines. Its backing CacheStore, however, *is*
+// concurrency-safe and may be shared: bind several runs' caches to one
+// store with NewFitnessCacheWith and entries flow between them. The
+// cache is bound to one Problem — fitness depends on the group,
+// platform and objective, so never reuse a cache (or share a store)
+// across distinct problems.
 type FitnessCache struct {
-	p        *Problem
-	capacity int
-
-	entries map[encoding.Fingerprint]float64
-	// fifo is the eviction ring: once len(entries) reaches capacity the
-	// oldest insertion is dropped. FIFO keeps eviction deterministic
-	// (map iteration order never leaks into behavior) and O(1).
-	fifo []encoding.Fingerprint
-	next int
+	p     *Problem
+	store *CacheStore
+	run   uint64 // this run's id within the store
 
 	stats CacheStats
 
@@ -89,19 +191,21 @@ type FitnessCache struct {
 	inBatch map[encoding.Fingerprint]int // fingerprint -> representative slot
 }
 
-// NewFitnessCache builds a cache for the problem. capacity <= 0 means
-// DefaultCacheSize.
+// NewFitnessCache builds a cache for the problem backed by a private
+// store. capacity <= 0 means DefaultCacheSize.
 func NewFitnessCache(p *Problem, capacity int) *FitnessCache {
-	if capacity <= 0 {
-		capacity = DefaultCacheSize
-	}
+	return NewFitnessCacheWith(p, NewCacheStore(capacity))
+}
+
+// NewFitnessCacheWith builds a run-local cache view over a shared
+// store. The store must be dedicated to this problem's identity (group
+// content × platform × objective); the run-local scratch and counters
+// stay private while entries are shared.
+func NewFitnessCacheWith(p *Problem, store *CacheStore) *FitnessCache {
 	return &FitnessCache{
-		p:        p,
-		capacity: capacity,
-		entries:  make(map[encoding.Fingerprint]float64),
-		// fifo grows by append up to capacity; preallocating the whole
-		// ring would charge every short run the full bound (~1 MiB at
-		// the default capacity).
+		p:       p,
+		store:   store,
+		run:     store.beginRun(),
 		inBatch: make(map[encoding.Fingerprint]int),
 	}
 }
@@ -109,8 +213,8 @@ func NewFitnessCache(p *Problem, capacity int) *FitnessCache {
 // Stats returns the counters accumulated so far.
 func (c *FitnessCache) Stats() CacheStats { return c.stats }
 
-// Len returns the number of cached fingerprints (bounded by capacity).
-func (c *FitnessCache) Len() int { return len(c.entries) }
+// Len returns the number of fingerprints in the backing store.
+func (c *FitnessCache) Len() int { return c.store.Len() }
 
 // Evaluate scores batch[i] into fit[i] for every i, like Pool.Evaluate,
 // but dispatches only one representative per schedule-equivalence class
@@ -119,16 +223,17 @@ func (c *FitnessCache) Len() int { return len(c.entries) }
 //  1. parallel: validate + decode + fingerprint every genome (index-
 //     addressed, so deterministic at any worker count);
 //  2. serial: group by fingerprint — cache hit, in-batch duplicate, or
-//     new representative;
+//     new representative (one store read-lock spans the whole scan);
 //  3. parallel: simulate the representatives from their already-decoded
 //     mappings, then scatter fitness to every class member and insert
-//     the new results into the cache.
+//     the new results into the store (one write-lock for the batch).
 func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float64) {
 	c.grow(len(batch))
 	pool.fingerprint(c.p, batch, c.maps, c.fps, c.ok)
 
 	c.reps = c.reps[:0]
 	clear(c.inBatch)
+	c.store.mu.RLock()
 	for i := range batch {
 		c.class[i] = -1
 		if !c.ok[i] { // failed validation in phase 1
@@ -137,9 +242,12 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 			continue
 		}
 		fp := c.fps[i]
-		if v, ok := c.entries[fp]; ok {
-			fit[i] = v
+		if e, ok := c.store.entries[fp]; ok {
+			fit[i] = e.fit
 			c.stats.Hits++
+			if e.run != c.run {
+				c.stats.CrossHits++
+			}
 			continue
 		}
 		if slot, ok := c.inBatch[fp]; ok {
@@ -153,6 +261,7 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 		c.class[i] = slot
 		c.stats.Misses++
 	}
+	c.store.mu.RUnlock()
 
 	pool.evaluateMapped(c.maps, c.reps, c.repFit[:len(c.reps)])
 
@@ -161,24 +270,12 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 			fit[i] = c.repFit[slot]
 		}
 	}
-	for slot, i := range c.reps {
-		c.insert(c.fps[i], c.repFit[slot])
-	}
-}
-
-// insert stores one fingerprint, evicting FIFO at capacity.
-func (c *FitnessCache) insert(fp encoding.Fingerprint, v float64) {
-	if len(c.fifo) < c.capacity {
-		c.entries[fp] = v
-		c.fifo = append(c.fifo, fp)
-		return
-	}
-	delete(c.entries, c.fifo[c.next])
-	c.entries[fp] = v
-	c.fifo[c.next] = fp
-	c.next++
-	if c.next == len(c.fifo) {
-		c.next = 0
+	if len(c.reps) > 0 {
+		c.store.mu.Lock()
+		for slot, i := range c.reps {
+			c.store.insertLocked(c.fps[i], c.repFit[slot], c.run)
+		}
+		c.store.mu.Unlock()
 	}
 }
 

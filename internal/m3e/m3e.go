@@ -81,6 +81,15 @@ func NewProblem(g workload.Group, p platform.Platform, obj Objective) (*Problem,
 	return &Problem{Table: tab, Objective: obj, Group: g, Platform: p}, nil
 }
 
+// ProblemFromTable wraps an already-built analysis table under an
+// objective. The table is read-only during search, so one table may
+// back any number of Problems (one per objective) concurrently — the
+// reuse a long-lived engine exploits to skip re-profiling a repeated
+// (group, platform) pair.
+func ProblemFromTable(t *analyzer.Table, obj Objective) *Problem {
+	return &Problem{Table: t, Objective: obj, Group: t.Group, Platform: t.Platform}
+}
+
 // NumJobs returns the group size.
 func (p *Problem) NumJobs() int { return len(p.Group.Jobs) }
 
@@ -217,6 +226,20 @@ type Options struct {
 	Cache bool
 	// CacheSize bounds the cache (entries). 0 means DefaultCacheSize.
 	CacheSize int
+	// Store optionally supplies a shared cross-run fingerprint→fitness
+	// store (implies Cache; CacheSize is then the store's concern, not
+	// the run's). The store must be dedicated to this problem's identity
+	// — same group content, platform and objective — and may be shared
+	// across sequential or concurrent runs: entries inserted by one run
+	// answer lookups of another (Result.Cache.CrossHits counts these),
+	// with results still bit-identical to a cold run.
+	Store *CacheStore
+	// Pool optionally supplies a prebuilt evaluation pool bound to this
+	// problem (Workers is then ignored). A pool's evaluators keep their
+	// grown scratch across runs, so a long-lived engine reuses pools
+	// instead of re-growing simulator buffers per request. A Pool serves
+	// one run at a time.
+	Pool *Pool
 }
 
 // Pool evaluates batches of genomes across a fixed set of workers, each
@@ -345,9 +368,14 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if err := opt.Init(p, rng); err != nil {
 		return Result{}, fmt.Errorf("m3e: init %s: %w", opt.Name(), err)
 	}
-	pool := NewPool(p, o.Workers)
+	pool := o.Pool
+	if pool == nil {
+		pool = NewPool(p, o.Workers)
+	}
 	var cache *FitnessCache
-	if o.Cache {
+	if o.Store != nil {
+		cache = NewFitnessCacheWith(p, o.Store)
+	} else if o.Cache {
 		cache = NewFitnessCache(p, o.CacheSize)
 	}
 	res := Result{Method: opt.Name(), BestFitness: math.Inf(-1)}

@@ -1,0 +1,308 @@
+// Package serve is the HTTP front end over a shared, long-lived
+// magma.Solver: JSON in (workload + platform setting + options), JSON
+// out (schedules + cache/engine stats). One Solver serves every
+// request concurrently, so repeated or similar requests reuse analysis
+// tables, evaluator pools and the cross-run fitness cache — the
+// response's engine stats make the reuse observable
+// (cross_request_hit_rate).
+//
+// Endpoints:
+//
+//	POST /optimize  schedule a workload (inline JSON or generator spec)
+//	GET  /stats     engine lifetime counters
+//	GET  /healthz   liveness probe
+//
+// cmd/serve wires this handler to a listener; cmd/bench's -serve mode
+// drives it in-process as a load generator.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"magma"
+	"magma/internal/m3e"
+	"magma/internal/models"
+)
+
+// maxBody bounds request bodies (a 100-job group is ~100 KB of JSON;
+// 16 MB leaves room for very large inline workloads).
+const maxBody = 16 << 20
+
+// GenerateSpec asks the server to build a benchmark workload (§VI-A2)
+// instead of shipping one inline.
+type GenerateSpec struct {
+	Task      string `json:"task"` // Vision | Lang | Recom | Mix
+	NumJobs   int    `json:"num_jobs"`
+	GroupSize int    `json:"group_size,omitempty"` // default 100
+	Seed      int64  `json:"seed"`
+}
+
+// RequestOptions mirrors magma.StreamOptions for the wire.
+type RequestOptions struct {
+	Mapper         string `json:"mapper,omitempty"`    // default MAGMA
+	Objective      string `json:"objective,omitempty"` // throughput | latency | energy | edp
+	BudgetPerGroup int    `json:"budget_per_group,omitempty"`
+	Seed           int64  `json:"seed,omitempty"`
+	Workers        int    `json:"workers,omitempty"`
+	Cache          *bool  `json:"cache,omitempty"` // default true: the shared cache is the point of the server
+	WarmStart      bool   `json:"warm_start,omitempty"`
+	SharedWarm     bool   `json:"shared_warm,omitempty"`
+}
+
+// OptimizeRequest is the POST /optimize body. Exactly one of Workload
+// (a document in the workload-JSON interchange format) or Generate must
+// be set.
+type OptimizeRequest struct {
+	Workload json.RawMessage `json:"workload,omitempty"`
+	Generate *GenerateSpec   `json:"generate,omitempty"`
+	Platform string          `json:"platform,omitempty"` // "S1".."S6", default "S2"
+	BW       float64         `json:"bw,omitempty"`       // GB/s; 0 = setting default
+	Options  RequestOptions  `json:"options"`
+}
+
+// GroupSchedule is one scheduled group of the response. Queues carries
+// the decoded per-core job order — enough to verify bit-identical
+// results across requests or against a local run.
+type GroupSchedule struct {
+	Index            int     `json:"index"`
+	Mapper           string  `json:"mapper"`
+	Fitness          float64 `json:"fitness"`
+	ThroughputGFLOPs float64 `json:"throughput_gflops"`
+	MakespanCycles   float64 `json:"makespan_cycles"`
+	EnergyUnits      float64 `json:"energy_units"`
+	Queues           [][]int `json:"queues"`
+}
+
+// CacheJSON is the wire form of m3e.CacheStats.
+type CacheJSON struct {
+	Hits         uint64  `json:"hits"`
+	CrossHits    uint64  `json:"cross_hits"`
+	Deduped      uint64  `json:"deduped"`
+	Misses       uint64  `json:"misses"`
+	Invalid      uint64  `json:"invalid"`
+	HitRate      float64 `json:"hit_rate"`
+	CrossHitRate float64 `json:"cross_hit_rate"`
+}
+
+func cacheJSON(s m3e.CacheStats) CacheJSON {
+	return CacheJSON{
+		Hits: s.Hits, CrossHits: s.CrossHits, Deduped: s.Deduped,
+		Misses: s.Misses, Invalid: s.Invalid,
+		HitRate: s.HitRate(), CrossHitRate: s.CrossHitRate(),
+	}
+}
+
+// EngineJSON is the wire form of magma.SolverStats: the shared engine's
+// lifetime counters. CrossRequestHitRate is the headline — the fraction
+// of all decodable evaluations answered by an entry a *different*
+// search inserted.
+type EngineJSON struct {
+	Searches            uint64    `json:"searches"`
+	TablesBuilt         uint64    `json:"tables_built"`
+	TablesReused        uint64    `json:"tables_reused"`
+	ProblemsEvicted     uint64    `json:"problems_evicted"`
+	PoolsBuilt          uint64    `json:"pools_built"`
+	PoolsReused         uint64    `json:"pools_reused"`
+	Cache               CacheJSON `json:"cache"`
+	CrossRequestHitRate float64   `json:"cross_request_hit_rate"`
+}
+
+func engineJSON(s magma.SolverStats) EngineJSON {
+	return EngineJSON{
+		Searches: s.Searches, TablesBuilt: s.TablesBuilt, TablesReused: s.TablesReused,
+		ProblemsEvicted: s.ProblemsEvicted, PoolsBuilt: s.PoolsBuilt, PoolsReused: s.PoolsReused,
+		Cache:               cacheJSON(s.Cache),
+		CrossRequestHitRate: s.Cache.CrossHitRate(),
+	}
+}
+
+// OptimizeResponse is the POST /optimize reply.
+type OptimizeResponse struct {
+	Workload         string          `json:"workload"`
+	Platform         string          `json:"platform"`
+	Groups           []GroupSchedule `json:"groups"`
+	TotalGFLOPs      float64         `json:"total_gflops"`
+	TotalSeconds     float64         `json:"total_seconds"`
+	ThroughputGFLOPs float64         `json:"throughput_gflops"`
+	Cache            CacheJSON       `json:"cache"`  // this request's counters
+	Engine           EngineJSON      `json:"engine"` // shared-solver lifetime counters
+	ElapsedMS        float64         `json:"elapsed_ms"`
+}
+
+// Server is the HTTP facade over one shared Solver.
+type Server struct {
+	solver *magma.Solver
+}
+
+// New wraps a Solver. Every request runs against it concurrently.
+func New(solver *magma.Solver) *Server { return &Server{solver: solver} }
+
+// Solver returns the shared solver (the load generator reads its stats
+// directly).
+func (s *Server) Solver() *magma.Solver { return s.solver }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, engineJSON(s.solver.Stats()))
+}
+
+// parseTask maps the wire task names onto models.Task (empty means the
+// Mix benchmark).
+func parseTask(name string) (models.Task, error) {
+	if name == "" {
+		return models.Mix, nil
+	}
+	return models.ParseTask(name)
+}
+
+// parseObjective maps the wire objective names onto magma.Objective.
+func parseObjective(name string) (magma.Objective, error) {
+	switch strings.ToLower(name) {
+	case "", "throughput":
+		return magma.Throughput, nil
+	case "latency":
+		return magma.Latency, nil
+	case "energy":
+		return magma.Energy, nil
+	case "edp":
+		return magma.EDP, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want throughput, latency, energy or edp)", name)
+}
+
+// workloadFor resolves the request's workload: inline document or
+// generator spec.
+func workloadFor(req *OptimizeRequest) (magma.Workload, error) {
+	switch {
+	case len(req.Workload) > 0 && req.Generate != nil:
+		return magma.Workload{}, fmt.Errorf("set either workload or generate, not both")
+	case len(req.Workload) > 0:
+		return magma.ReadWorkloadJSON(bytes.NewReader(req.Workload))
+	case req.Generate != nil:
+		task, err := parseTask(req.Generate.Task)
+		if err != nil {
+			return magma.Workload{}, err
+		}
+		return magma.GenerateWorkload(magma.WorkloadConfig{
+			Task:      task,
+			NumJobs:   req.Generate.NumJobs,
+			GroupSize: req.Generate.GroupSize,
+			Seed:      req.Generate.Seed,
+		})
+	}
+	return magma.Workload{}, fmt.Errorf("missing workload: set workload (inline JSON) or generate (spec)")
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	start := time.Now()
+	var req OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+
+	wl, err := workloadFor(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "workload: %v", err)
+		return
+	}
+	setting := req.Platform
+	if setting == "" {
+		setting = "S2"
+	}
+	pf, err := magma.PlatformBySetting(setting)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "platform: %v", err)
+		return
+	}
+	if req.BW > 0 {
+		pf = pf.WithBW(req.BW)
+	}
+	obj, err := parseObjective(req.Options.Objective)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "options: %v", err)
+		return
+	}
+	cache := true
+	if req.Options.Cache != nil {
+		cache = *req.Options.Cache
+	}
+	opts := magma.StreamOptions{
+		Mapper:         req.Options.Mapper,
+		Objective:      obj,
+		BudgetPerGroup: req.Options.BudgetPerGroup,
+		Seed:           req.Options.Seed,
+		Workers:        req.Options.Workers,
+		Cache:          cache,
+		WarmStart:      req.Options.WarmStart,
+		SharedWarm:     req.Options.SharedWarm,
+	}
+
+	res, err := s.solver.OptimizeStream(wl, pf, opts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "optimize: %v", err)
+		return
+	}
+
+	resp := OptimizeResponse{
+		Workload:         wl.Name,
+		Platform:         pf.String(),
+		TotalGFLOPs:      res.TotalGFLOPs,
+		TotalSeconds:     res.TotalSeconds,
+		ThroughputGFLOPs: res.ThroughputGFLOPs,
+		Cache:            cacheJSON(res.Cache),
+		Engine:           engineJSON(s.solver.Stats()),
+		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	for gi, sched := range res.Schedules {
+		resp.Groups = append(resp.Groups, GroupSchedule{
+			Index:            gi,
+			Mapper:           sched.Mapper,
+			Fitness:          sched.Fitness,
+			ThroughputGFLOPs: sched.ThroughputGFLOPs,
+			MakespanCycles:   sched.MakespanCycles,
+			EnergyUnits:      sched.EnergyUnits,
+			Queues:           sched.Mapping.Queues,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

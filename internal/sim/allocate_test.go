@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -119,6 +120,52 @@ func TestQuickAllocateInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// BenchmarkAllocateProportional times the Algorithm 1 inner-loop
+// allocation under saturation — the per-frame cost the branch-reduced
+// Proportional path optimizes (before/after numbers in DESIGN.md).
+func BenchmarkAllocateProportional(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("accels=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			reqs := make([]float64, n)
+			var sum float64
+			for i := range reqs {
+				reqs[i] = rng.Float64() * 100
+				sum += reqs[i]
+			}
+			st := mkState(reqs)
+			st[n/2] = live{job: -1} // one idle core, as mid-group frames have
+			alloc := make([]float64, n)
+			sys := sum / 2 // saturated: the Proportional branch runs
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				allocate(st, alloc, sys, Proportional)
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateUndersubscribed times the common unsaturated frame
+// (every job gets its full requirement), shared by both policies.
+func BenchmarkAllocateUndersubscribed(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 8
+	reqs := make([]float64, n)
+	var sum float64
+	for i := range reqs {
+		reqs[i] = rng.Float64()
+		sum += reqs[i]
+	}
+	st := mkState(reqs)
+	alloc := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		allocate(st, alloc, sum*2, Proportional)
 	}
 }
 

@@ -122,29 +122,30 @@ func allocate(state []live, alloc []float64, sysBW float64, policy Policy) {
 // WaterFill worklist (Proportional never needs it). It returns the
 // possibly-grown scratch so the caller can keep it for the next frame.
 func allocateScratch(state []live, alloc []float64, sysBW float64, policy Policy, scratch []int) []int {
+	// Invariant: an inactive slot always carries req == 0 (launch installs
+	// the idle sentinel live{job: -1}), so summing and scaling can run
+	// branch-free over every slot — inactive cores contribute 0 to the sum
+	// and receive 0*scale. Adding 0.0 and multiplying 0.0 are exact, so
+	// the result is bit-identical to the branchy per-slot active checks.
 	var sumReq float64
 	for a := range state {
+		sumReq += state[a].req
+	}
+	if sumReq <= sysBW || policy == Proportional {
+		// Unsaturated frames grant every requirement (scale 1, exact);
+		// saturated Proportional frames scale uniformly by sysBW/Σreq —
+		// one multiply per slot, no branches in the loop.
+		scale := 1.0
+		if sumReq > sysBW {
+			scale = sysBW / sumReq
+		}
+		for a := range state {
+			alloc[a] = state[a].req * scale
+		}
+		return scratch
+	}
+	for a := range state {
 		alloc[a] = 0
-		if state[a].active {
-			sumReq += state[a].req
-		}
-	}
-	if sumReq <= sysBW {
-		for a := range state {
-			if state[a].active {
-				alloc[a] = state[a].req
-			}
-		}
-		return scratch
-	}
-	if policy == Proportional {
-		scale := sysBW / sumReq
-		for a := range state {
-			if state[a].active {
-				alloc[a] = state[a].req * scale
-			}
-		}
-		return scratch
 	}
 	// Max-min water-filling capped at each job's requirement: repeatedly
 	// grant jobs whose requirement fits under the fair share of the

@@ -29,12 +29,9 @@ package magma
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sort"
 	"sync"
 
 	"magma/internal/encoding"
-	"magma/internal/heuristics"
 	"magma/internal/m3e"
 	"magma/internal/models"
 	"magma/internal/opt/cmaes"
@@ -137,6 +134,12 @@ type Options struct {
 	// WarmStart seeds MAGMA's initial population with previously found
 	// schedules of the same group size (§V-C). Ignored by other mappers.
 	WarmStart []Schedule
+	// Solver, when non-nil, runs the search against a long-lived Solver:
+	// analysis tables, evaluator pools and the cross-run fitness cache
+	// persist across calls (results stay bit-identical to per-call runs).
+	// Nil means a private single-use Solver — the historical facade
+	// behavior.
+	Solver *Solver
 }
 
 // CacheStats reports how the fitness cache resolved evaluations (see
@@ -199,61 +202,11 @@ func newOptimizer(name string) (m3e.Optimizer, error) {
 }
 
 // Optimize searches for a mapping of the group onto the platform and
-// returns the best schedule found.
+// returns the best schedule found. It is a thin wrapper over a Solver:
+// the one in opts.Solver when set, otherwise a private single-use one
+// (identical behavior to the historical per-call facade).
 func Optimize(g Group, p Platform, opts Options) (Schedule, error) {
-	prob, err := m3e.NewProblem(g, p, opts.Objective)
-	if err != nil {
-		return Schedule{}, err
-	}
-	return optimizeProblem(prob, g, opts)
-}
-
-// optimizeProblem runs one mapper against a prebuilt problem, letting
-// Compare share a single job-analysis table across every mapper instead
-// of re-profiling the group per mapper.
-func optimizeProblem(prob *m3e.Problem, g Group, opts Options) (Schedule, error) {
-	switch opts.Mapper {
-	case "Herald-like", "AI-MT-like":
-		var mapper heuristics.Mapper = heuristics.HeraldLike{}
-		if opts.Mapper == "AI-MT-like" {
-			mapper = heuristics.AIMTLike{}
-		}
-		mapping, err := mapper.Map(prob.Table)
-		if err != nil {
-			return Schedule{}, err
-		}
-		return finishSchedule(prob, mapping, encoding.Genome{}, nil, mapper.Name(), opts.Objective)
-	}
-	opt, err := newOptimizer(opts.Mapper)
-	if err != nil {
-		return Schedule{}, err
-	}
-	if len(opts.WarmStart) > 0 {
-		if seeder, ok := opt.(m3e.Seeder); ok {
-			seeds := make([]encoding.Genome, 0, len(opts.WarmStart))
-			for _, s := range opts.WarmStart {
-				if s.Genome.NumJobs() == len(g.Jobs) {
-					seeds = append(seeds, s.Genome)
-				}
-			}
-			seeder.Seed(seeds)
-		}
-	}
-	res, err := m3e.Run(prob, opt, m3e.Options{
-		Budget:    opts.Budget,
-		Workers:   opts.Workers,
-		Cache:     opts.Cache,
-		CacheSize: opts.CacheSize,
-	}, opts.Seed)
-	if err != nil {
-		return Schedule{}, err
-	}
-	s, err := finishSchedule(prob, res.BestMapping(prob.NumAccels()), res.Best, res.Curve, res.Method, opts.Objective)
-	if err != nil {
-		return Schedule{}, err
-	}
-	s.Cache = res.Cache
-	return s, nil
+	return solverFor(opts.Solver, opts.CacheSize).Optimize(g, p, opts)
 }
 
 func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Genome, curve []float64, mapper string, obj Objective) (Schedule, error) {
@@ -282,52 +235,10 @@ func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Geno
 // Workers at a time (0 = all cores); each mapper's inner evaluation
 // loop then runs serial to keep the machine exactly Workers-wide. Every
 // mapper keeps the seed it would get from a serial sweep (opts.Seed+i),
-// so the returned schedules are identical for any worker count.
+// so the returned schedules are identical for any worker count. A thin
+// wrapper over Solver.Compare (opts.Solver or a private one).
 func Compare(g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
-	if len(mappers) == 0 {
-		mappers = MapperNames()
-	}
-	prob, err := m3e.NewProblem(g, p, opts.Objective)
-	if err != nil {
-		return nil, err
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(mappers) {
-		workers = len(mappers)
-	}
-	out := make([]Schedule, len(mappers))
-	errs := make([]error, len(mappers))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, name := range mappers {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			o := opts
-			o.Mapper = name
-			o.Seed = opts.Seed + int64(i)
-			o.Workers = 1
-			s, err := optimizeProblem(prob, g, o)
-			if err != nil {
-				errs[i] = fmt.Errorf("magma: mapper %s: %w", name, err)
-				return
-			}
-			out[i] = s
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Fitness > out[j].Fitness })
-	return out, nil
+	return solverFor(opts.Solver, opts.CacheSize).Compare(g, p, mappers, opts)
 }
 
 // RenderSchedule writes an ASCII Gantt-style visualization of a
@@ -345,8 +256,10 @@ func RenderSchedule(w io.Writer, g Group, p Platform, s Schedule, cols int) erro
 }
 
 // WarmStore accumulates solved schedules per task type and seeds future
-// searches of the same type (§V-C).
+// searches of the same type (§V-C). Safe for concurrent use, so a
+// Solver can share one across requests (Solver.Warm).
 type WarmStore struct {
+	mu    sync.Mutex
 	inner *optmagma.WarmStore
 }
 
@@ -357,15 +270,26 @@ func NewWarmStore(limit int) *WarmStore {
 }
 
 // Record remembers a solved schedule for the task type.
-func (w *WarmStore) Record(task Task, s Schedule) { w.inner.Record(task, s.Genome) }
+func (w *WarmStore) Record(task Task, s Schedule) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inner.Record(task, s.Genome)
+}
 
 // Known reports whether the store has seen the task type.
-func (w *WarmStore) Known(task Task) bool { return w.inner.Known(task) }
+func (w *WarmStore) Known(task Task) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inner.Known(task)
+}
 
 // Seeds returns warm-start seeds compatible with a new group of the
-// given size, newest first.
+// given size, newest first. The returned schedules are deep copies —
+// safe to hold after later Records.
 func (w *WarmStore) Seeds(task Task, groupSize int) []Schedule {
+	w.mu.Lock()
 	gs := w.inner.SeedsFor(task, groupSize)
+	w.mu.Unlock()
 	out := make([]Schedule, len(gs))
 	for i, g := range gs {
 		out[i] = Schedule{Genome: g}

@@ -1,0 +1,325 @@
+package magma
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"magma/internal/encoding"
+	"magma/internal/engine"
+	"magma/internal/heuristics"
+	"magma/internal/m3e"
+	optmagma "magma/internal/opt/magma"
+)
+
+// SolverOptions configures a long-lived Solver.
+type SolverOptions struct {
+	// MaxProblems bounds the number of cached problems (analysis table ×
+	// objective); 0 means the engine default (64). Oldest entries are
+	// evicted first; memory stays bounded no matter how many distinct
+	// workloads a server sees.
+	MaxProblems int
+	// CacheSize bounds each problem's shared cross-run fitness store in
+	// entries (0 = default 64K). Per-call Options.CacheSize does not
+	// apply to a Solver's shared store.
+	CacheSize int
+	// WarmLimit bounds the Solver's shared warm-start store per task
+	// type (0 = default 8).
+	WarmLimit int
+}
+
+// SolverStats reports what a Solver reused versus rebuilt: completed
+// searches, analysis tables built/reused, pool reuse, FIFO evictions,
+// and the aggregated fitness-cache counters — Cache.CrossHits is the
+// cross-run payoff (evaluations answered by an entry a different
+// search inserted).
+type SolverStats = engine.Stats
+
+// Solver is the long-lived, concurrency-safe entry point to the
+// library. It owns the state a per-call facade rebuilds and discards on
+// every request:
+//
+//   - a problem cache keyed by content identity (group layers/batches ×
+//     platform configuration × objective), so repeated requests skip
+//     the job-analysis profiling pass;
+//   - one shared cross-run fingerprint→fitness cache per problem, so a
+//     schedule evaluated for any request answers the same schedule in
+//     every later — or concurrent — request on that problem;
+//   - pooled evaluators/simulators whose grown scratch stays warm;
+//   - a shared warm-start store (§V-C) for callers that opt into
+//     cross-request seeding.
+//
+// Results are bit-identical to fresh per-call runs: everything shared
+// is either read-only during search (tables) or a pure-function memo
+// (fitness), so reuse changes wall-clock, never schedules. All methods
+// are safe for concurrent use.
+//
+// The package-level Optimize, OptimizeStream, Compare and Tune are thin
+// wrappers that run on a private single-use Solver unless the passed
+// Options/StreamOptions carry an explicit one.
+type Solver struct {
+	eng  *engine.Engine
+	warm *WarmStore
+}
+
+// NewSolver builds a long-lived Solver.
+func NewSolver(o SolverOptions) *Solver {
+	return &Solver{
+		eng:  engine.New(engine.Config{MaxProblems: o.MaxProblems, CacheSize: o.CacheSize}),
+		warm: NewWarmStore(o.WarmLimit),
+	}
+}
+
+// Stats returns a snapshot of the Solver's reuse counters.
+func (s *Solver) Stats() SolverStats { return s.eng.Stats() }
+
+// Warm returns the Solver's shared warm-start store: concurrency-safe,
+// persistent across requests. OptimizeStream uses it only when
+// StreamOptions.SharedWarm is set (cross-request seeding changes search
+// trajectories, so it is opt-in); callers can also draw Seeds from it
+// explicitly into Options.WarmStart.
+func (s *Solver) Warm() *WarmStore { return s.warm }
+
+// solverFor returns the explicitly provided Solver, or a fresh private
+// one — which makes the package-level entry points behave exactly like
+// the historical per-call facade (no state survives the call). The
+// per-call cache bound carries over to the private solver's store; an
+// explicit Solver keeps its own SolverOptions.CacheSize instead.
+func solverFor(s *Solver, cacheSize int) *Solver {
+	if s != nil {
+		return s
+	}
+	return NewSolver(SolverOptions{CacheSize: cacheSize})
+}
+
+// Optimize searches for a mapping of the group onto the platform, as
+// the package-level Optimize, but against the Solver's cached problem
+// and shared fitness store.
+func (s *Solver) Optimize(g Group, p Platform, opts Options) (Schedule, error) {
+	h, err := s.eng.Problem(g, p, opts.Objective)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return s.optimizeHandle(h, g, opts)
+}
+
+// optimizeHandle runs one mapper against a leased problem, letting
+// Compare share a single job-analysis table across every mapper instead
+// of re-profiling the group per mapper.
+func (s *Solver) optimizeHandle(h *engine.ProblemHandle, g Group, opts Options) (Schedule, error) {
+	prob := h.Prob()
+	switch opts.Mapper {
+	case "Herald-like", "AI-MT-like":
+		var mapper heuristics.Mapper = heuristics.HeraldLike{}
+		if opts.Mapper == "AI-MT-like" {
+			mapper = heuristics.AIMTLike{}
+		}
+		mapping, err := mapper.Map(prob.Table)
+		if err != nil {
+			return Schedule{}, err
+		}
+		return finishSchedule(prob, mapping, encoding.Genome{}, nil, mapper.Name(), opts.Objective)
+	}
+	opt, err := newOptimizer(opts.Mapper)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if len(opts.WarmStart) > 0 {
+		if seeder, ok := opt.(m3e.Seeder); ok {
+			seeds := make([]encoding.Genome, 0, len(opts.WarmStart))
+			for _, ws := range opts.WarmStart {
+				if ws.Genome.NumJobs() == len(g.Jobs) {
+					seeds = append(seeds, ws.Genome)
+				}
+			}
+			seeder.Seed(seeds)
+		}
+	}
+	res, err := h.Run(opt, m3e.Options{
+		Budget:    opts.Budget,
+		Workers:   opts.Workers,
+		Cache:     opts.Cache,
+		CacheSize: opts.CacheSize,
+	}, opts.Seed)
+	if err != nil {
+		return Schedule{}, err
+	}
+	sched, err := finishSchedule(prob, res.BestMapping(prob.NumAccels()), res.Best, res.Curve, res.Method, opts.Objective)
+	if err != nil {
+		return Schedule{}, err
+	}
+	sched.Cache = res.Cache
+	return sched, nil
+}
+
+// Compare runs several mappers on the same group and platform and
+// returns their schedules sorted best-fitness-first, as the
+// package-level Compare. The job-analysis table is leased once from
+// the Solver's cache; with Options.Cache set, every mapper shares the
+// problem's fitness store (bit-identical results — a cached fitness
+// equals a recomputed one — with cross-mapper hits counted in each
+// Schedule.Cache.CrossHits).
+func (s *Solver) Compare(g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
+	if len(mappers) == 0 {
+		mappers = MapperNames()
+	}
+	h, err := s.eng.Problem(g, p, opts.Objective)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(mappers) {
+		workers = len(mappers)
+	}
+	out := make([]Schedule, len(mappers))
+	errs := make([]error, len(mappers))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, name := range mappers {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Mapper = name
+			o.Seed = opts.Seed + int64(i)
+			o.Workers = 1
+			sched, err := s.optimizeHandle(h, g, o)
+			if err != nil {
+				errs[i] = fmt.Errorf("magma: mapper %s: %w", name, err)
+				return
+			}
+			out[i] = sched
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Fitness > out[j].Fitness })
+	return out, nil
+}
+
+// OptimizeStream schedules every group of a workload in sequence, as
+// the package-level OptimizeStream, but against the Solver's caches.
+// Groups of identical content (and repeated requests for the same
+// workload) reuse analysis tables and fitness entries across runs —
+// StreamResult.Cache.CrossHits counts the reuse.
+//
+// Warm starting is per-call by default (each stream chains only on its
+// own groups, keeping repeated requests bit-identical); SharedWarm opts
+// into the Solver's cross-request store.
+func (s *Solver) OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, error) {
+	if len(wl.Groups) == 0 {
+		return StreamResult{}, fmt.Errorf("magma: workload has no groups")
+	}
+	store := NewWarmStore(0)
+	if opts.SharedWarm {
+		store = s.warm
+	}
+	var res StreamResult
+	var totalFLOPs int64
+	for gi, g := range wl.Groups {
+		budget := opts.BudgetPerGroup
+		if budget <= 0 {
+			budget = m3e.DefaultBudget / len(wl.Groups)
+		}
+		// Floor: at least 20 generations' worth of samples per group
+		// (population = group size), overriding a too-small BudgetPerGroup.
+		if floor := 20 * len(g.Jobs); budget < floor {
+			budget = floor
+		}
+		o := Options{
+			Mapper:    opts.Mapper,
+			Objective: opts.Objective,
+			Budget:    budget,
+			Seed:      opts.Seed + int64(gi),
+			Workers:   opts.Workers,
+			Cache:     opts.Cache,
+			CacheSize: opts.CacheSize,
+		}
+		if opts.WarmStart {
+			o.WarmStart = store.Seeds(wl.Task, len(g.Jobs))
+		}
+		sched, err := s.Optimize(g, p, o)
+		if err != nil {
+			return StreamResult{}, fmt.Errorf("magma: group %d of %d (task %s, %d jobs): %w",
+				gi, len(wl.Groups), wl.Task, len(g.Jobs), err)
+		}
+		if opts.WarmStart && sched.Genome.NumJobs() == len(g.Jobs) {
+			store.Record(wl.Task, sched)
+		}
+		res.Schedules = append(res.Schedules, sched)
+		res.Cache.Add(sched.Cache)
+		totalFLOPs += g.TotalFLOPs()
+		res.TotalSeconds += sched.MakespanCycles / clockHz()
+	}
+	res.TotalGFLOPs = float64(totalFLOPs) / 1e9
+	if res.TotalSeconds > 0 {
+		res.ThroughputGFLOPs = res.TotalGFLOPs / res.TotalSeconds
+	}
+	return res, nil
+}
+
+// Tune searches MAGMA's hyper-parameter space, as the package-level
+// Tune, against the Solver's caches. The tuner re-runs MAGMA on the
+// identical problem every trial — the most repetition-heavy loop in the
+// codebase — so the shared fitness store answers most of a trial's
+// evaluations from earlier trials. The first evaluation error aborts
+// the search and is returned (a silent zero would bias the tuner
+// toward broken configurations).
+func (s *Solver) Tune(g Group, p Platform, budget int, trials int, seed int64) ([]float64, float64, error) {
+	h, err := s.eng.Problem(g, p, Throughput)
+	if err != nil {
+		return nil, 0, err
+	}
+	space := tunerSpace()
+	var mu sync.Mutex
+	var firstErr error
+	obj := func(pt []float64) float64 {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			// Once a trial has failed the run is doomed; stop burning
+			// budget and let every later probe score -Inf.
+			return math.Inf(-1)
+		}
+		cfg := optmagma.Config{
+			MutationRate:       pt[0],
+			CrossoverGenRate:   pt[1],
+			CrossoverRGRate:    pt[2],
+			CrossoverAccelRate: pt[3],
+			EliteRatio:         pt[4],
+		}
+		// The cache is pure wall-clock savings here: trials repeat the
+		// identical problem, so the Solver's shared store answers most
+		// of a trial's evaluations from its predecessors.
+		res, err := h.Run(optmagma.New(cfg), m3e.Options{Budget: budget, Cache: true}, seed)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return math.Inf(-1)
+		}
+		return res.BestFitness
+	}
+	res, err := runTuner(space, obj, trials, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if firstErr != nil {
+		return nil, 0, fmt.Errorf("magma: tune trial failed: %w", firstErr)
+	}
+	return res.Best, res.BestScore, nil
+}

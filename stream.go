@@ -1,12 +1,5 @@
 package magma
 
-import (
-	"fmt"
-
-	"magma/internal/m3e"
-	optmagma "magma/internal/opt/magma"
-)
-
 // StreamOptions configures OptimizeStream.
 type StreamOptions struct {
 	// Mapper as in Options (default MAGMA).
@@ -14,7 +7,9 @@ type StreamOptions struct {
 	// Objective defaults to Throughput.
 	Objective Objective
 	// BudgetPerGroup is the sampling budget spent on each group
-	// (default 10000 / number of groups, at least 20 generations).
+	// (default 10000 / number of groups, at least 20 generations —
+	// i.e. a floor of 20×(group size) samples, which overrides a
+	// smaller explicit BudgetPerGroup too).
 	BudgetPerGroup int
 	// Seed drives all randomness.
 	Seed int64
@@ -24,13 +19,25 @@ type StreamOptions struct {
 	Workers int
 	// Cache enables the schedule-fingerprint fitness cache per group
 	// search (results are bit-identical either way; see Options.Cache).
+	// With a long-lived Solver the cache additionally persists across
+	// groups and calls (StreamResult.Cache.CrossHits counts that reuse).
 	Cache bool
 	// CacheSize bounds each group's cache in entries (0 = default).
+	// Ignored when a Solver supplies its shared store.
 	CacheSize int
 	// WarmStart chains groups: each group's search is seeded with the
 	// best schedules of earlier groups of the same task type (§V-C).
 	// Only effective for MAGMA.
 	WarmStart bool
+	// SharedWarm, with WarmStart and a long-lived Solver, seeds groups
+	// from (and records into) the Solver's cross-request warm store
+	// instead of a per-call one. Opt-in: cross-request seeding changes
+	// search trajectories, so repeated identical requests are no longer
+	// bit-identical.
+	SharedWarm bool
+	// Solver, when non-nil, runs every group against a long-lived
+	// Solver (see Options.Solver). Nil means a private single-use one.
+	Solver *Solver
 }
 
 // StreamResult aggregates a scheduled workload stream.
@@ -52,51 +59,10 @@ type StreamResult struct {
 // OptimizeStream schedules every group of a workload in sequence — the
 // deployment loop of the multi-tenant system (Fig. 1): the host chops
 // the job queue into dependency-free groups, and the mapper places each
-// group, optionally warm-starting from previously solved groups.
+// group, optionally warm-starting from previously solved groups. A thin
+// wrapper over Solver.OptimizeStream (opts.Solver or a private one).
 func OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, error) {
-	if len(wl.Groups) == 0 {
-		return StreamResult{}, fmt.Errorf("magma: workload has no groups")
-	}
-	store := NewWarmStore(0)
-	var res StreamResult
-	var totalFLOPs int64
-	for gi, g := range wl.Groups {
-		budget := opts.BudgetPerGroup
-		if budget <= 0 {
-			budget = m3e.DefaultBudget / len(wl.Groups)
-		}
-		if floor := 20 * len(g.Jobs); budget < floor {
-			budget = floor
-		}
-		o := Options{
-			Mapper:    opts.Mapper,
-			Objective: opts.Objective,
-			Budget:    budget,
-			Seed:      opts.Seed + int64(gi),
-			Workers:   opts.Workers,
-			Cache:     opts.Cache,
-			CacheSize: opts.CacheSize,
-		}
-		if opts.WarmStart {
-			o.WarmStart = store.Seeds(wl.Task, len(g.Jobs))
-		}
-		s, err := Optimize(g, p, o)
-		if err != nil {
-			return StreamResult{}, fmt.Errorf("magma: group %d: %w", gi, err)
-		}
-		if opts.WarmStart && s.Genome.NumJobs() == len(g.Jobs) {
-			store.Record(wl.Task, s)
-		}
-		res.Schedules = append(res.Schedules, s)
-		res.Cache.Add(s.Cache)
-		totalFLOPs += g.TotalFLOPs()
-		res.TotalSeconds += s.MakespanCycles / clockHz()
-	}
-	res.TotalGFLOPs = float64(totalFLOPs) / 1e9
-	if res.TotalSeconds > 0 {
-		res.ThroughputGFLOPs = res.TotalGFLOPs / res.TotalSeconds
-	}
-	return res, nil
+	return solverFor(opts.Solver, opts.CacheSize).OptimizeStream(wl, p, opts)
 }
 
 // clockHz exposes the platform clock for cycle-to-time conversion.
@@ -105,33 +71,9 @@ func clockHz() float64 { return platformClockHz }
 // Tune searches MAGMA's hyper-parameter space (operator rates and elite
 // ratio, §V-B3) for one problem instance with the SMBO tuner and
 // returns the best configuration found as (mutation, crossover-gen,
-// crossover-rg, crossover-accel, elite-ratio) plus its fitness.
+// crossover-rg, crossover-accel, elite-ratio) plus its fitness. The
+// first trial-evaluation error aborts the search and is returned. A
+// thin wrapper over Solver.Tune on a private single-use Solver.
 func Tune(g Group, p Platform, budget int, trials int, seed int64) ([]float64, float64, error) {
-	prob, err := m3e.NewProblem(g, p, Throughput)
-	if err != nil {
-		return nil, 0, err
-	}
-	space := tunerSpace()
-	obj := func(pt []float64) float64 {
-		cfg := optmagma.Config{
-			MutationRate:       pt[0],
-			CrossoverGenRate:   pt[1],
-			CrossoverRGRate:    pt[2],
-			CrossoverAccelRate: pt[3],
-			EliteRatio:         pt[4],
-		}
-		// The cache is pure wall-clock savings here: the tuner re-runs
-		// MAGMA on the identical problem every trial, the most
-		// repetition-heavy search loop in the codebase.
-		res, err := m3e.Run(prob, optmagma.New(cfg), m3e.Options{Budget: budget, Cache: true}, seed)
-		if err != nil {
-			return 0
-		}
-		return res.BestFitness
-	}
-	res, err := runTuner(space, obj, trials, seed)
-	if err != nil {
-		return nil, 0, err
-	}
-	return res.Best, res.BestScore, nil
+	return NewSolver(SolverOptions{}).Tune(g, p, budget, trials, seed)
 }

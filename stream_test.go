@@ -1,6 +1,7 @@
 package magma
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -46,6 +47,64 @@ func TestOptimizeStreamHeuristic(t *testing.T) {
 func TestOptimizeStreamEmpty(t *testing.T) {
 	if _, err := OptimizeStream(Workload{}, PlatformS1(), StreamOptions{}); err == nil {
 		t.Error("empty workload accepted")
+	}
+}
+
+// TestOptimizeStreamBudgetFloor pins the per-group floor: the budget is
+// at least 20 generations (20 × group size samples), overriding a
+// smaller explicit BudgetPerGroup; an explicit budget above the floor
+// is honored exactly. Curve has one point per consumed sample, so its
+// length is the consumed budget.
+func TestOptimizeStreamBudgetFloor(t *testing.T) {
+	wl, err := GenerateWorkload(WorkloadConfig{Task: Mix, NumJobs: 32, GroupSize: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		perGroup, want int
+	}{
+		{10, 20 * 16},  // under the floor: floored to 20 generations
+		{319, 20 * 16}, // one below the floor: still floored
+		{500, 500},     // above the floor: honored exactly
+	} {
+		res, err := OptimizeStream(wl, PlatformS2(), StreamOptions{BudgetPerGroup: tc.perGroup, Seed: 1})
+		if err != nil {
+			t.Fatalf("BudgetPerGroup=%d: %v", tc.perGroup, err)
+		}
+		for gi, s := range res.Schedules {
+			if len(s.Curve) != tc.want {
+				t.Errorf("BudgetPerGroup=%d group %d: consumed %d samples, want %d",
+					tc.perGroup, gi, len(s.Curve), tc.want)
+			}
+		}
+	}
+}
+
+// TestOptimizeStreamGroupFailure: a failing group must abort the stream
+// cleanly — a zero StreamResult and an error naming the group index and
+// its task/shape context.
+func TestOptimizeStreamGroupFailure(t *testing.T) {
+	wl, err := GenerateWorkload(WorkloadConfig{Task: Vision, NumJobs: 32, GroupSize: 16, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the second group below the S2 core count: its problem
+	// build fails (§III requires group size >= sub-accelerators).
+	bad := Workload{Name: wl.Name, Task: wl.Task, Groups: []Group{
+		wl.Groups[0],
+		{Index: 1, Jobs: wl.Groups[1].Jobs[:2]},
+	}}
+	res, err := OptimizeStream(bad, PlatformS2(), StreamOptions{BudgetPerGroup: 64, Seed: 1})
+	if err == nil {
+		t.Fatal("stream with an unschedulable group succeeded")
+	}
+	if len(res.Schedules) != 0 || res.ThroughputGFLOPs != 0 {
+		t.Errorf("failed stream returned partial result: %+v", res)
+	}
+	for _, want := range []string{"group 1 of 2", "task Vision", "2 jobs"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks context %q", err, want)
+		}
 	}
 }
 
