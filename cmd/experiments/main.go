@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"magma/internal/experiments"
@@ -62,10 +66,22 @@ func main() {
 	}
 	cfg.Cache = *cache
 
+	// Ctrl-C cancels the suite's context: the in-flight search stops at
+	// its next generation boundary and the runner exits cleanly, keeping
+	// every table already printed instead of dying mid-figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Context = ctx
+
 	run := func(e experiments.Experiment) {
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
 		start := time.Now()
 		if err := e.Run(cfg, os.Stdout); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "experiments: interrupted during %s after %v — artifacts above are complete, %s is not\n",
+					e.ID, time.Since(start).Round(time.Millisecond), e.ID)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}

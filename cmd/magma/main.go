@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"magma"
 )
@@ -74,21 +77,37 @@ func main() {
 	fmt.Printf("platform: %s\n", pf)
 	fmt.Printf("group:    %d jobs, %.3g total GFLOPs\n", len(group.Jobs), float64(group.TotalFLOPs())/1e9)
 
+	// Ctrl-C cancels the search context instead of killing the process:
+	// the run stops at its next generation boundary and the best-so-far
+	// schedule (flagged partial) is printed. A second Ctrl-C kills.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *compare {
-		results, err := magma.Compare(group, pf, nil, opts)
+		results, err := magma.CompareCtx(ctx, group, pf, nil, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if ctx.Err() != nil {
+			fmt.Println("\ninterrupted — leaderboard of best-so-far (partial) results:")
+		}
 		fmt.Printf("\n%-12s  %12s  %14s\n", "mapper", "GFLOP/s", "makespan (cyc)")
 		for _, r := range results {
-			fmt.Printf("%-12s  %12.1f  %14.4g\n", r.Mapper, r.ThroughputGFLOPs, r.MakespanCycles)
+			note := ""
+			if r.Partial {
+				note = fmt.Sprintf("  (partial: %d/%d samples)", r.Samples, *budget)
+			}
+			fmt.Printf("%-12s  %12.1f  %14.4g%s\n", r.Mapper, r.ThroughputGFLOPs, r.MakespanCycles, note)
 		}
 		return
 	}
 
-	sched, err := magma.Optimize(group, pf, opts)
+	sched, err := magma.OptimizeCtx(ctx, group, pf, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if sched.Partial {
+		fmt.Printf("\ninterrupted after %d of %d samples — best-so-far schedule:\n", sched.Samples, *budget)
 	}
 	fmt.Printf("mapper:     %s\n", sched.Mapper)
 	fmt.Printf("throughput: %.1f GFLOP/s\n", sched.ThroughputGFLOPs)
@@ -98,12 +117,37 @@ func main() {
 		fmt.Printf("cache:      %.1f%% hit rate (%d hits, %d deduped, %d simulated)\n",
 			100*st.HitRate(), st.Hits, st.Deduped, st.Misses)
 	}
+	if sched.Partial {
+		printPartialCurve(sched.Curve)
+	}
 	if *gantt {
 		fmt.Println()
 		if err := magma.RenderSchedule(os.Stdout, group, pf, sched, 100); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// printPartialCurve summarizes the truncated convergence curve of an
+// interrupted search: a handful of evenly spaced best-so-far points, so
+// the user sees how far along the run was when it stopped.
+func printPartialCurve(curve []float64) {
+	if len(curve) == 0 {
+		return
+	}
+	const points = 8
+	fmt.Printf("curve:      %d samples;", len(curve))
+	step := (len(curve) + points - 1) / points
+	if step < 1 {
+		step = 1
+	}
+	for i := step - 1; i < len(curve); i += step {
+		fmt.Printf(" %.4g@%d", curve[i], i+1)
+	}
+	if (len(curve)-1)%step != step-1 {
+		fmt.Printf(" %.4g@%d", curve[len(curve)-1], len(curve))
+	}
+	fmt.Println()
 }
 
 func loadGroup(path, task string, jobs int, seed int64, idx int) (magma.Group, error) {

@@ -7,12 +7,21 @@
 //
 //	serve                      # listen on :8080
 //	serve -addr :9000 -maxproblems 128 -cachesize 131072
+//	serve -jobtimeout 2m -maxjobs 512
 //
 // Endpoints:
 //
 //	POST /optimize   {"generate":{"task":"Mix","num_jobs":32,"group_size":16,"seed":1},
 //	                  "platform":"S2","options":{"budget_per_group":400,"seed":1}}
 //	                 or {"workload":{...jobgen document...},...}
+//	                 synchronous; aborts with the client disconnect and
+//	                 honors "timeout_ms" (capped by -jobtimeout)
+//	POST /jobs       same body, asynchronous; returns {"id": ...}
+//	GET  /jobs/{id}  status + live progress (+ result when finished;
+//	                 HTTP 499 once cancelled)
+//	DELETE /jobs/{id}       cancel; the job keeps its best-so-far result
+//	GET  /jobs/{id}/events  SSE progress stream (one event per generation)
+//	GET  /jobs       list retained jobs
 //	GET  /stats      engine lifetime counters
 //	GET  /healthz    liveness probe
 package main
@@ -38,6 +47,9 @@ func main() {
 		maxProblems = flag.Int("maxproblems", 0, "cached problems bound (0 = default 64)")
 		cacheSize   = flag.Int("cachesize", 0, "per-problem fitness store bound in entries (0 = default)")
 		warmLimit   = flag.Int("warmlimit", 0, "shared warm-store schedules per task (0 = default 8)")
+		jobTimeout  = flag.Duration("jobtimeout", 10*time.Minute, "per-search wall-clock cap for /optimize and /jobs; request timeout_ms can only shorten it (0 = no cap)")
+		maxJobs     = flag.Int("maxjobs", 0, "retained finished jobs bound (0 = default 256)")
+		maxRunning  = flag.Int("maxrunning", 0, "concurrently running async jobs bound; excess submissions get 429 (0 = default 2x GOMAXPROCS, min 4)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -49,8 +61,12 @@ func main() {
 		WarmLimit:   *warmLimit,
 	})
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: logRequests(serve.New(solver).Handler()),
+		Addr: *addr,
+		Handler: logRequests(serve.NewWith(solver, serve.Config{
+			JobTimeout: *jobTimeout,
+			MaxJobs:    *maxJobs,
+			MaxRunning: *maxRunning,
+		}).Handler()),
 		// Searches are CPU-bound and can run long; only bound the header
 		// read so a stuck client cannot pin a connection pre-request.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -95,4 +111,12 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher so the SSE progress stream
+// (/jobs/{id}/events) keeps working through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

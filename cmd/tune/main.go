@@ -8,9 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"magma"
 	"magma/internal/models"
@@ -48,12 +53,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	best, score, err := magma.Tune(wl.Groups[0], pf, *budget, *trials, *seed)
-	if err != nil {
+	// Ctrl-C stops the trial loop; the best configuration of the
+	// completed trials is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	best, score, err := magma.TuneCtx(ctx, wl.Groups[0], pf, *budget, *trials, *seed)
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
 		log.Fatal(err)
 	}
+	if interrupted {
+		if best == nil {
+			log.Fatal("interrupted before any trial completed")
+		}
+		// The requested trial count did not run; don't claim it did.
+		fmt.Printf("interrupted — best configuration of the completed trials (%.1f GFLOP/s):\n", score)
+	} else {
+		fmt.Printf("best configuration after %d trials (%.1f GFLOP/s):\n", *trials, score)
+	}
 	names := []string{"mutation", "crossover-gen", "crossover-rg", "crossover-accel", "elite-ratio"}
-	fmt.Printf("best configuration after %d trials (%.1f GFLOP/s):\n", *trials, score)
 	for i, n := range names {
 		fmt.Printf("  %-16s %.3f\n", n, best[i])
 	}

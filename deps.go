@@ -1,6 +1,9 @@
 package magma
 
 import (
+	"context"
+
+	"magma/internal/m3e"
 	"magma/internal/platform"
 	"magma/internal/tuner"
 )
@@ -8,15 +11,18 @@ import (
 // platformClockHz re-exports the accelerator clock (§VI-A3: 200 MHz).
 const platformClockHz = platform.ClockHz
 
+// m3eDefaultBudget re-exports the runner's default sampling budget.
+const m3eDefaultBudget = m3e.DefaultBudget
+
 // tunerSpace returns the MAGMA hyper-parameter search space.
 func tunerSpace() []tuner.Param { return tuner.MAGMASpace() }
 
-// runTuner drives the SMBO loop with a trial budget.
-func runTuner(space []tuner.Param, obj func([]float64) float64, trials int, seed int64) (tuner.Result, error) {
+// runTuner drives the SMBO loop with a trial budget under a context.
+func runTuner(ctx context.Context, space []tuner.Param, obj func([]float64) float64, trials int, seed int64) (tuner.Result, error) {
 	cfg := tuner.Config{}
 	if trials > 0 {
 		cfg.InitRandom = trials / 4
 		cfg.Iterations = trials - cfg.InitRandom
 	}
-	return tuner.Tune(space, tuner.Objective(obj), cfg, seed)
+	return tuner.TuneCtx(ctx, space, tuner.Objective(obj), cfg, seed)
 }

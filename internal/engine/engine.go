@@ -28,6 +28,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -313,9 +314,18 @@ func (h *ProblemHandle) putPool(p *m3e.Pool) {
 // change wall-clock, never values. Safe for concurrent use; each call
 // leases its own pool, and the store is concurrency-safe.
 func (h *ProblemHandle) Run(opt m3e.Optimizer, o m3e.Options, seed int64) (m3e.Result, error) {
+	return h.RunCtx(context.Background(), opt, o, seed)
+}
+
+// RunCtx is Run under a context: a deadline or cancel aborts the search
+// at the next generation boundary and returns the best-so-far Result
+// with Aborted set (not an error). Aborted runs still count toward the
+// engine's Searches/Cache stats — their evaluations happened.
+func (h *ProblemHandle) RunCtx(ctx context.Context, opt m3e.Optimizer, o m3e.Options, seed int64) (m3e.Result, error) {
 	pool := h.getPool(o.Workers)
 	defer h.putPool(pool)
 	o.Pool = pool
+	o.Context = ctx
 	if o.Cache {
 		o.Store = h.st.store
 	}

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -33,6 +34,11 @@ type Config struct {
 	Seed      int64 // base RNG seed
 	Workers   int   // parallel evaluation goroutines (0 = all cores)
 	Cache     bool  // schedule-fingerprint fitness cache (bit-identical results)
+	// Context, when non-nil, makes every search of the suite
+	// cancellable: cmd/experiments wires SIGINT to it, so Ctrl-C stops
+	// the in-flight search at a generation boundary instead of killing
+	// the process mid-figure.
+	Context context.Context
 }
 
 // runOpts returns the m3e runner options for one search at the given
@@ -40,7 +46,7 @@ type Config struct {
 // never results, so the artifacts are reproducible at any parallelism
 // with caching on or off.
 func (c Config) runOpts(budget int) m3e.Options {
-	return m3e.Options{Budget: budget, Workers: c.Workers, Cache: c.Cache}
+	return m3e.Options{Budget: budget, Workers: c.Workers, Cache: c.Cache, Context: c.Context}
 }
 
 // runOptsShared is runOpts backed by a shared cross-run fitness store.
@@ -62,6 +68,24 @@ func (c Config) runOptsShared(budget int, store *m3e.CacheStore) m3e.Options {
 // store is a few hundred bytes, so figure loops allocate one
 // unconditionally; runOptsShared wires it in only when c.Cache is set.
 func newStore() *m3e.CacheStore { return m3e.NewCacheStore(0) }
+
+// runSearch is m3e.Run with the suite's cancellation contract: an
+// aborted (Ctrl-C'd) search returns the context's error instead of a
+// truncated Result, so no figure ever prints partial numbers as if they
+// were full-budget ones.
+func runSearch(prob *m3e.Problem, opt m3e.Optimizer, opts m3e.Options, seed int64) (m3e.Result, error) {
+	res, err := m3e.Run(prob, opt, opts, seed)
+	if err != nil {
+		return res, err
+	}
+	if res.Aborted {
+		if opts.Context != nil && opts.Context.Err() != nil {
+			return res, opts.Context.Err()
+		}
+		return res, context.Canceled
+	}
+	return res, nil
+}
 
 // Quick returns the fast-suite configuration (CI-friendly). The fitness
 // cache is on: it only skips provably redundant simulations.

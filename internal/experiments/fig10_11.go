@@ -52,7 +52,7 @@ func runFig10(c Config, w io.Writer) error {
 	for mi, m := range methods {
 		opts := c.runOpts(c.Budget)
 		opts.RecordSamples = true
-		res, err := m3e.Run(prob, m.NewOpt(), opts, c.Seed+int64(mi))
+		res, err := runSearch(prob, m.NewOpt(), opts, c.Seed+int64(mi))
 		if err != nil {
 			return err
 		}
@@ -61,7 +61,7 @@ func runFig10(c Config, w io.Writer) error {
 	// The "exhaustively sampled" best-effort reference: a larger random
 	// sweep (the paper used ~1M samples over two days; we scale it to
 	// 10x the method budget).
-	randRes, err := m3e.Run(prob, random.New(256), c.runOpts(10*c.Budget), c.Seed+99)
+	randRes, err := runSearch(prob, random.New(256), c.runOpts(10*c.Budget), c.Seed+99)
 	if err != nil {
 		return err
 	}

@@ -143,7 +143,7 @@ func runFig13(c Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
+			res, err := runSearch(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
 			if err != nil {
 				return err
 			}

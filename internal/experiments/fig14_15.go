@@ -6,7 +6,6 @@ import (
 
 	"magma/internal/analyzer"
 	"magma/internal/encoding"
-	"magma/internal/m3e"
 	"magma/internal/models"
 	optmagma "magma/internal/opt/magma"
 	"magma/internal/platform"
@@ -89,7 +88,7 @@ func runFig14(c Config, w io.Writer) error {
 					if err != nil {
 						return 0, err
 					}
-					res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
+					res, err := runSearch(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
 					if err != nil {
 						return 0, err
 					}
@@ -131,7 +130,7 @@ func runFig15(c Config, w io.Writer) error {
 		return err
 	}
 	// MAGMA schedule.
-	mres, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
+	mres, err := runSearch(prob, optmagma.New(optmagma.Config{}), c.runOpts(c.Budget), c.Seed)
 	if err != nil {
 		return err
 	}

@@ -69,7 +69,7 @@ func RunMethod(prob *m3e.Problem, m Method, opts m3e.Options, seed int64) (float
 		}
 		return fit, nil, nil
 	}
-	res, err := m3e.Run(prob, m.NewOpt(), opts, seed)
+	res, err := runSearch(prob, m.NewOpt(), opts, seed)
 	if err != nil {
 		return 0, nil, fmt.Errorf("%s: %w", m.Name, err)
 	}

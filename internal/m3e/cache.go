@@ -186,6 +186,7 @@ type FitnessCache struct {
 	fps     []encoding.Fingerprint
 	ok      []bool // batch index -> passed validation in phase 1
 	class   []int  // batch index -> representative slot, or -1 if resolved
+	charge  []bool // batch index -> consumes effective budget (miss/invalid)
 	reps    []int  // representative slot -> batch index
 	repFit  []float64
 	inBatch map[encoding.Fingerprint]int // fingerprint -> representative slot
@@ -213,6 +214,13 @@ func NewFitnessCacheWith(p *Problem, store *CacheStore) *FitnessCache {
 // Stats returns the counters accumulated so far.
 func (c *FitnessCache) Stats() CacheStats { return c.stats }
 
+// ChargedAt reports whether batch index i of the most recent Evaluate
+// call consumed effective budget: true for schedules that reached the
+// simulator (distinct, uncached) and for invalid genomes; false for
+// cache hits and in-batch duplicates. The runner's EffectiveBudget mode
+// reads this to charge the budget only for distinct schedules.
+func (c *FitnessCache) ChargedAt(i int) bool { return c.charge[i] }
+
 // Len returns the number of fingerprints in the backing store.
 func (c *FitnessCache) Len() int { return c.store.Len() }
 
@@ -239,6 +247,7 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 		if !c.ok[i] { // failed validation in phase 1
 			fit[i] = math.Inf(-1)
 			c.stats.Invalid++
+			c.charge[i] = true // constraint violations always consume budget
 			continue
 		}
 		fp := c.fps[i]
@@ -248,11 +257,13 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 			if e.run != c.run {
 				c.stats.CrossHits++
 			}
+			c.charge[i] = false
 			continue
 		}
 		if slot, ok := c.inBatch[fp]; ok {
 			c.class[i] = slot
 			c.stats.Deduped++
+			c.charge[i] = false
 			continue
 		}
 		slot := len(c.reps)
@@ -260,6 +271,7 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 		c.reps = append(c.reps, i)
 		c.class[i] = slot
 		c.stats.Misses++
+		c.charge[i] = true
 	}
 	c.store.mu.RUnlock()
 
@@ -288,11 +300,13 @@ func (c *FitnessCache) grow(n int) {
 		c.fps = make([]encoding.Fingerprint, n)
 		c.ok = make([]bool, n)
 		c.class = make([]int, n)
+		c.charge = make([]bool, n)
 		c.repFit = make([]float64, n)
 	}
 	c.maps = c.maps[:n]
 	c.fps = c.fps[:n]
 	c.ok = c.ok[:n]
 	c.class = c.class[:n]
+	c.charge = c.charge[:n]
 	c.repFit = c.repFit[:n]
 }

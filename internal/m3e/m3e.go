@@ -10,6 +10,7 @@
 package m3e
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -202,10 +203,35 @@ type Result struct {
 	Method      string
 	Best        encoding.Genome
 	BestFitness float64
-	Samples     int         // evaluations actually consumed
-	Curve       []float64   // best-so-far fitness after each sample
+	Samples     int         // budget units consumed (see Options.EffectiveBudget)
+	Asked       int         // genomes processed (== Samples unless EffectiveBudget)
+	Curve       []float64   // best-so-far fitness after each consumed sample
 	Explored    [][]float64 // sampled vectors (only when RecordSamples)
 	Cache       CacheStats  // hit/miss counters (zero unless Options.Cache)
+	// Aborted reports that the run's context was cancelled (deadline or
+	// explicit cancel) before the budget was exhausted. The Result is
+	// still valid: Best/Curve hold the best-so-far state at the last
+	// completed generation — exactly the prefix a full run would have
+	// produced — so callers can use the partial schedule directly.
+	Aborted bool
+}
+
+// Progress is one per-generation observer snapshot (Options.Observer).
+type Progress struct {
+	// Generation counts completed Ask/Tell rounds, starting at 1.
+	Generation int
+	// Samples is the budget consumed so far, out of Budget.
+	Samples int
+	// Asked is the number of genomes processed so far (== Samples unless
+	// Options.EffectiveBudget charges only distinct schedules).
+	Asked int
+	// Budget is the run's total sampling budget.
+	Budget int
+	// BestFitness is the best fitness found so far.
+	BestFitness float64
+	// Cache holds the fitness-cache counters so far (zero when the cache
+	// is off).
+	Cache CacheStats
 }
 
 // Options tunes the runner.
@@ -240,7 +266,35 @@ type Options struct {
 	// instead of re-growing simulator buffers per request. A Pool serves
 	// one run at a time.
 	Pool *Pool
+	// Context, when non-nil, makes the run cancellable: the loop checks
+	// it once per generation (between Tell and the next Ask), so a
+	// deadline or cancel aborts within one generation's evaluation cost
+	// and Run returns the best-so-far Result with Aborted set — not an
+	// error. Nil means context.Background() (never cancelled).
+	Context context.Context
+	// Observer, when non-nil, is called after every completed generation
+	// with a progress snapshot. It runs synchronously on the search
+	// goroutine, so it must be fast and must not block; a slow observer
+	// stalls the search itself.
+	Observer func(Progress)
+	// EffectiveBudget, with the cache on, charges the sampling budget
+	// only for genomes that actually reach the simulator (cache misses)
+	// or fail validation; cache hits and in-batch duplicates are free.
+	// Highly redundant optimizers (CMA-ES re-asks up to 80% duplicate
+	// schedules at small groups) then explore several times more of the
+	// space for the same budget. Off by default — the paper charges every
+	// sample — and an error without Cache/Store, since without a cache
+	// there is nothing to distinguish distinct schedules by. Asked vs
+	// Samples in the Result reports the stretch. To bound runs whose
+	// optimizer collapses onto all-cached batches, a run stops once Asked
+	// reaches EffectiveBudgetStretchCap times the budget.
+	EffectiveBudget bool
 }
+
+// EffectiveBudgetStretchCap bounds an EffectiveBudget run: at most this
+// many genomes are processed per unit of budget, so an optimizer that
+// degenerates to asking only already-cached schedules still terminates.
+const EffectiveBudgetStretchCap = 100
 
 // Pool evaluates batches of genomes across a fixed set of workers, each
 // owning its own Evaluator (simulator + decode scratch). Fitness is
@@ -364,6 +418,10 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if o.Budget <= 0 {
 		o.Budget = DefaultBudget
 	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	if err := opt.Init(p, rng); err != nil {
 		return Result{}, fmt.Errorf("m3e: init %s: %w", opt.Name(), err)
@@ -378,14 +436,32 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	} else if o.Cache {
 		cache = NewFitnessCache(p, o.CacheSize)
 	}
+	if o.EffectiveBudget && cache == nil {
+		return Result{}, fmt.Errorf("m3e: EffectiveBudget requires the fitness cache (set Cache or Store)")
+	}
 	res := Result{Method: opt.Name(), BestFitness: math.Inf(-1)}
 	res.Curve = make([]float64, 0, o.Budget)
 	var fit []float64 // reused across batches
+	generation := 0
 	for res.Samples < o.Budget {
+		// Cancellation is observed only here, at a generation boundary, so
+		// an aborted run's best-so-far state equals the prefix of a full
+		// run after the same number of generations — never a half-applied
+		// batch — and cancel latency is bounded by one generation's cost.
+		if ctx.Err() != nil {
+			res.Aborted = true
+			break
+		}
+		if o.EffectiveBudget && res.Asked >= EffectiveBudgetStretchCap*o.Budget {
+			break
+		}
 		batch := opt.Ask()
 		if len(batch) == 0 {
 			return Result{}, fmt.Errorf("m3e: %s returned an empty batch", opt.Name())
 		}
+		// Truncate to the remaining budget. Under EffectiveBudget the
+		// charge per genome is at most one, so the truncated batch still
+		// can never overshoot the budget.
 		if left := o.Budget - res.Samples; len(batch) > left {
 			batch = batch[:left]
 		}
@@ -399,17 +475,40 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 			pool.Evaluate(batch, fit)
 		}
 		for i, g := range batch {
-			res.Samples++
+			res.Asked++
+			charged := true
+			if o.EffectiveBudget {
+				charged = cache.ChargedAt(i)
+			}
+			if charged {
+				res.Samples++
+			}
 			if fit[i] > res.BestFitness {
 				res.BestFitness = fit[i]
 				res.Best = g.Clone()
 			}
-			res.Curve = append(res.Curve, res.BestFitness)
+			if charged {
+				res.Curve = append(res.Curve, res.BestFitness)
+			}
 			if o.RecordSamples {
 				res.Explored = append(res.Explored, g.ToVector(p.NumAccels()))
 			}
 		}
 		opt.Tell(batch, fit)
+		generation++
+		if o.Observer != nil {
+			pr := Progress{
+				Generation:  generation,
+				Samples:     res.Samples,
+				Asked:       res.Asked,
+				Budget:      o.Budget,
+				BestFitness: res.BestFitness,
+			}
+			if cache != nil {
+				pr.Cache = cache.Stats()
+			}
+			o.Observer(pr)
+		}
 	}
 	if cache != nil {
 		res.Cache = cache.Stats()

@@ -1,0 +1,101 @@
+package m3e
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"magma/internal/encoding"
+	"magma/internal/models"
+	"magma/internal/platform"
+)
+
+func TestRunEffectiveBudgetRequiresCache(t *testing.T) {
+	prob := testProblem(t, models.Mix, 16, platform.S2(), Throughput)
+	_, err := Run(prob, &stubOpt{}, Options{Budget: 50, EffectiveBudget: true}, 1)
+	if err == nil {
+		t.Fatal("EffectiveBudget without Cache accepted")
+	}
+}
+
+// repeatOpt asks the same genome forever — the degenerate all-cached
+// stream the effective-budget stretch cap exists for.
+type repeatOpt struct {
+	g encoding.Genome
+}
+
+func (r *repeatOpt) Name() string { return "repeat" }
+func (r *repeatOpt) Init(p *Problem, rng *rand.Rand) error {
+	r.g = encoding.Random(p.NumJobs(), p.NumAccels(), rng)
+	return nil
+}
+func (r *repeatOpt) Ask() []encoding.Genome            { return []encoding.Genome{r.g} }
+func (r *repeatOpt) Tell([]encoding.Genome, []float64) {}
+
+func TestRunEffectiveBudgetStretchCap(t *testing.T) {
+	prob := testProblem(t, models.Mix, 16, platform.S2(), Throughput)
+	budget := 3
+	res, err := Run(prob, &repeatOpt{}, Options{Budget: budget, Cache: true, EffectiveBudget: true}, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Samples >= budget {
+		t.Fatalf("all-duplicate stream filled the budget: %d samples", res.Samples)
+	}
+	if res.Asked < EffectiveBudgetStretchCap*budget {
+		t.Fatalf("stopped at %d asked, cap is %d", res.Asked, EffectiveBudgetStretchCap*budget)
+	}
+	if res.Aborted {
+		t.Fatal("stretch-cap stop must not be reported as a context abort")
+	}
+}
+
+func TestRunObserverSeesEveryGeneration(t *testing.T) {
+	prob := testProblem(t, models.Mix, 16, platform.S2(), Throughput)
+	var snaps []Progress
+	res, err := Run(prob, &stubOpt{batch: 8}, Options{Budget: 40, Observer: func(p Progress) {
+		snaps = append(snaps, p)
+	}}, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(snaps) != 5 { // 40 budget / 8 per batch
+		t.Fatalf("observer saw %d generations, want 5", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Samples != res.Samples || last.BestFitness != res.BestFitness || last.Budget != 40 {
+		t.Errorf("final snapshot %+v inconsistent with result (samples %d, best %v)",
+			last, res.Samples, res.BestFitness)
+	}
+	for i, p := range snaps {
+		if p.Generation != i+1 {
+			t.Errorf("snapshot %d has generation %d", i, p.Generation)
+		}
+	}
+}
+
+func TestRunContextAbortMidSearch(t *testing.T) {
+	prob := testProblem(t, models.Mix, 16, platform.S2(), Throughput)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Run(prob, &stubOpt{batch: 8}, Options{Budget: 800, Context: ctx, Observer: func(p Progress) {
+		if p.Generation == 3 {
+			cancel()
+		}
+	}}, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Aborted {
+		t.Fatal("cancelled run not marked Aborted")
+	}
+	if res.Samples != 24 {
+		t.Fatalf("aborted after %d samples, want 24 (3 generations of 8)", res.Samples)
+	}
+	if len(res.Curve) != res.Samples {
+		t.Fatalf("curve %d entries, samples %d", len(res.Curve), res.Samples)
+	}
+	if res.Best.NumJobs() == 0 {
+		t.Fatal("aborted run lost its best genome")
+	}
+}

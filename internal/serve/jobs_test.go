@@ -1,0 +1,328 @@
+package serve_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"magma"
+	"magma/internal/serve"
+)
+
+// jobRequest is a small two-group workload; budget_per_group scales how
+// long it runs.
+func jobRequest(budget int) string {
+	return fmt.Sprintf(`{"generate":{"task":"Mix","num_jobs":32,"group_size":16,"seed":1},
+		"platform":"S2","options":{"budget_per_group":%d,"seed":1}}`, budget)
+}
+
+func submitJob(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("submit response: %v (%s)", err, raw)
+	}
+	if out.ID == "" || out.Status != serve.JobRunning {
+		t.Fatalf("submit response %s", raw)
+	}
+	return out.ID
+}
+
+func getJob(t *testing.T, url, id string) (int, serve.JobView) {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var v serve.JobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("job view: %v (%s)", err, raw)
+	}
+	return resp.StatusCode, v
+}
+
+// waitJob polls until the job leaves the running state.
+func waitJob(t *testing.T, url, id string) (int, serve.JobView) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, v := getJob(t, url, id)
+		if v.Status != serve.JobRunning {
+			return code, v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s still running after 30s", id)
+	return 0, serve.JobView{}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := submitJob(t, ts.URL, jobRequest(200))
+	code, v := waitJob(t, ts.URL, id)
+	if code != http.StatusOK || v.Status != serve.JobDone {
+		t.Fatalf("finished job: code %d status %q", code, v.Status)
+	}
+	if v.Partial {
+		t.Error("uncancelled job marked partial")
+	}
+	if v.Result == nil || len(v.Result.Groups) != 2 {
+		t.Fatalf("finished job result %+v", v.Result)
+	}
+	if v.Progress.GroupsDone != 2 || v.Progress.Groups != 2 {
+		t.Errorf("progress %+v, want 2/2 groups", v.Progress)
+	}
+	if v.Progress.Generation == 0 || v.Progress.Samples == 0 {
+		t.Errorf("no live progress recorded: %+v", v.Progress)
+	}
+}
+
+func TestJobCancelMidRunKeepsBestSoFar(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// A budget this size runs for many seconds on one core — the test
+	// cancels long before it finishes.
+	id := submitJob(t, ts.URL, jobRequest(2_000_000))
+
+	// Wait until the search demonstrably produced progress.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, v := getJob(t, ts.URL, id)
+		if v.Progress.Generation >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never progressed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	code, v := waitJob(t, ts.URL, id)
+	if code != serve.StatusClientClosedRequest {
+		t.Fatalf("cancelled job: code %d, want %d", code, serve.StatusClientClosedRequest)
+	}
+	if v.Status != serve.JobCancelled || v.Reason != "cancel" || !v.Partial {
+		t.Fatalf("cancelled job view: status %q reason %q partial %v", v.Status, v.Reason, v.Partial)
+	}
+	if v.Result == nil || len(v.Result.Groups) == 0 {
+		t.Fatal("cancelled job lost its best-so-far schedules")
+	}
+	if !v.Result.Partial {
+		t.Error("cancelled job result not marked partial")
+	}
+	if v.CancelLatencyMS <= 0 {
+		t.Errorf("cancel latency not measured: %v", v.CancelLatencyMS)
+	}
+	// Cancellation must land within one generation's evaluation budget —
+	// generations here are 16 genomes of a 16-job group, far under a
+	// second even on one core; 5s allows for a heavily loaded CI box.
+	if v.CancelLatencyMS > 5000 {
+		t.Errorf("cancel latency %.1fms exceeds the one-generation bound", v.CancelLatencyMS)
+	}
+
+	// DELETE on a finished job is idempotent.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-cancel: status %d", resp.StatusCode)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := fmt.Sprintf(`{"generate":{"task":"Mix","num_jobs":32,"group_size":16,"seed":1},
+		"platform":"S2","options":{"budget_per_group":2000000,"seed":1},"timeout_ms":300}`)
+	id := submitJob(t, ts.URL, body)
+	code, v := waitJob(t, ts.URL, id)
+	if code != serve.StatusClientClosedRequest || v.Status != serve.JobCancelled {
+		t.Fatalf("timed-out job: code %d status %q", code, v.Status)
+	}
+	if v.Reason != "timeout" {
+		t.Errorf("reason %q, want timeout", v.Reason)
+	}
+	if v.Result == nil || len(v.Result.Groups) == 0 {
+		t.Fatal("timed-out job lost its best-so-far schedules")
+	}
+}
+
+func TestJobUnknownAndList(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, _ := func() (int, string) {
+		resp, err := http.Get(ts.URL + "/jobs/doesnotexist")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}()
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+
+	id := submitJob(t, ts.URL, jobRequest(200))
+	waitJob(t, ts.URL, id)
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []serve.JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) == 0 {
+		t.Fatal("job list empty")
+	}
+}
+
+func TestJobEventsSSE(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := submitJob(t, ts.URL, jobRequest(400))
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var events, doneEvents int
+	var lastData string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: progress"):
+			events++
+		case strings.HasPrefix(line, "event: done"):
+			doneEvents++
+		case strings.HasPrefix(line, "data: "):
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if doneEvents != 1 {
+		t.Fatalf("saw %d done events, want 1 (progress events: %d)", doneEvents, events)
+	}
+	var v serve.JobView
+	if err := json.Unmarshal([]byte(lastData), &v); err != nil {
+		t.Fatalf("final event payload: %v (%s)", err, lastData)
+	}
+	if v.Status != serve.JobDone || v.Result == nil {
+		t.Fatalf("final event %+v", v)
+	}
+}
+
+// serveUniform is a downstream Mapper registered from outside the
+// facade; the server resolves it by name through the same registry.
+type serveUniform struct {
+	n, a int
+	rng  *mrand.Rand
+}
+
+func (u *serveUniform) Name() string { return "serve-test-uniform" }
+func (u *serveUniform) Init(p *magma.SearchProblem, rng *mrand.Rand) error {
+	u.n, u.a, u.rng = p.NumJobs(), p.NumAccels(), rng
+	return nil
+}
+func (u *serveUniform) Ask() []magma.Genome {
+	batch := make([]magma.Genome, 8)
+	for i := range batch {
+		g := magma.Genome{Accel: make([]int, u.n), Prio: make([]float64, u.n)}
+		for j := 0; j < u.n; j++ {
+			g.Accel[j] = u.rng.Intn(u.a)
+			g.Prio[j] = u.rng.Float64()
+		}
+		batch[i] = g
+	}
+	return batch
+}
+func (u *serveUniform) Tell([]magma.Genome, []float64) {}
+
+// TestRegisteredMapperUsableOverHTTP pins the acceptance criterion: a
+// mapper added with magma.Register is selectable by name from the
+// server without any facade or server edits.
+func TestRegisteredMapperUsableOverHTTP(t *testing.T) {
+	if err := magma.Register("serve-test-uniform", func() magma.Mapper { return &serveUniform{} }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	ts, _ := newTestServer(t)
+	body := `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":1},
+		"platform":"S2","options":{"mapper":"serve-test-uniform","budget_per_group":64,"seed":1}}`
+	resp, out, raw := post(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if len(out.Groups) != 1 || out.Groups[0].Mapper != "serve-test-uniform" {
+		t.Fatalf("groups %+v, want one scheduled by serve-test-uniform", out.Groups)
+	}
+}
+
+func TestJobSubmitShedsLoadPastRunningCap(t *testing.T) {
+	solver := magma.NewSolver(magma.SolverOptions{})
+	ts := httptest.NewServer(serve.NewWith(solver, serve.Config{MaxRunning: 1}).Handler())
+	t.Cleanup(ts.Close)
+
+	id := submitJob(t, ts.URL, jobRequest(2_000_000))
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(jobRequest(200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit past cap: status %d, want 429", resp.StatusCode)
+	}
+
+	// Cancelling the running job frees the slot.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitJob(t, ts.URL, id)
+	id2 := submitJob(t, ts.URL, jobRequest(200))
+	if _, v := waitJob(t, ts.URL, id2); v.Status != serve.JobDone {
+		t.Fatalf("post-cap job: %q", v.Status)
+	}
+}

@@ -8,9 +8,14 @@
 //
 // Endpoints:
 //
-//	POST /optimize  schedule a workload (inline JSON or generator spec)
-//	GET  /stats     engine lifetime counters
-//	GET  /healthz   liveness probe
+//	POST /optimize      schedule a workload synchronously (inline JSON or
+//	                    generator spec); aborts with the client disconnect
+//	GET  /stats         engine lifetime counters
+//	GET  /healthz       liveness probe
+//	POST /jobs          submit the same body asynchronously; returns a job id
+//	GET  /jobs/{id}     job status + live progress (+ result when finished)
+//	DELETE /jobs/{id}   cancel a running job (best-so-far result is kept)
+//	GET  /jobs/{id}/events  SSE stream of per-generation progress
 //
 // cmd/serve wires this handler to a listener; cmd/bench's -serve mode
 // drives it in-process as a load generator.
@@ -18,9 +23,12 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -44,25 +52,32 @@ type GenerateSpec struct {
 
 // RequestOptions mirrors magma.StreamOptions for the wire.
 type RequestOptions struct {
-	Mapper         string `json:"mapper,omitempty"`    // default MAGMA
-	Objective      string `json:"objective,omitempty"` // throughput | latency | energy | edp
-	BudgetPerGroup int    `json:"budget_per_group,omitempty"`
-	Seed           int64  `json:"seed,omitempty"`
-	Workers        int    `json:"workers,omitempty"`
-	Cache          *bool  `json:"cache,omitempty"` // default true: the shared cache is the point of the server
-	WarmStart      bool   `json:"warm_start,omitempty"`
-	SharedWarm     bool   `json:"shared_warm,omitempty"`
+	Mapper          string `json:"mapper,omitempty"`    // default MAGMA; any magma.Register name works
+	Objective       string `json:"objective,omitempty"` // throughput | latency | energy | edp
+	BudgetPerGroup  int    `json:"budget_per_group,omitempty"`
+	Seed            int64  `json:"seed,omitempty"`
+	Workers         int    `json:"workers,omitempty"`
+	Cache           *bool  `json:"cache,omitempty"` // default true: the shared cache is the point of the server
+	WarmStart       bool   `json:"warm_start,omitempty"`
+	SharedWarm      bool   `json:"shared_warm,omitempty"`
+	EffectiveBudget bool   `json:"effective_budget,omitempty"` // charge budget only for distinct schedules
 }
 
-// OptimizeRequest is the POST /optimize body. Exactly one of Workload
-// (a document in the workload-JSON interchange format) or Generate must
-// be set.
+// OptimizeRequest is the POST /optimize and POST /jobs body. Exactly
+// one of Workload (a document in the workload-JSON interchange format)
+// or Generate must be set.
 type OptimizeRequest struct {
 	Workload json.RawMessage `json:"workload,omitempty"`
 	Generate *GenerateSpec   `json:"generate,omitempty"`
 	Platform string          `json:"platform,omitempty"` // "S1".."S6", default "S2"
 	BW       float64         `json:"bw,omitempty"`       // GB/s; 0 = setting default
 	Options  RequestOptions  `json:"options"`
+	// TimeoutMS bounds this request's search wall-clock in milliseconds.
+	// 0 means the server's default job timeout (cmd/serve -jobtimeout);
+	// a nonzero value is additionally capped by that default. On expiry
+	// the search stops at its next generation boundary and the response
+	// carries the best-so-far schedules with partial set.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // GroupSchedule is one scheduled group of the response. Queues carries
@@ -121,7 +136,8 @@ func engineJSON(s magma.SolverStats) EngineJSON {
 	}
 }
 
-// OptimizeResponse is the POST /optimize reply.
+// OptimizeResponse is the POST /optimize reply (and the result payload
+// of a finished job).
 type OptimizeResponse struct {
 	Workload         string          `json:"workload"`
 	Platform         string          `json:"platform"`
@@ -132,15 +148,51 @@ type OptimizeResponse struct {
 	Cache            CacheJSON       `json:"cache"`  // this request's counters
 	Engine           EngineJSON      `json:"engine"` // shared-solver lifetime counters
 	ElapsedMS        float64         `json:"elapsed_ms"`
+	// Partial reports a context-aborted search (cancel, timeout, client
+	// disconnect): Groups holds the best-so-far prefix.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// Config tunes the HTTP facade.
+type Config struct {
+	// JobTimeout caps every search's wall-clock (sync /optimize and
+	// async jobs); a request's timeout_ms can only shorten it. 0 means
+	// no server-side cap.
+	JobTimeout time.Duration
+	// MaxJobs bounds retained finished jobs (running jobs are never
+	// evicted); 0 means DefaultMaxJobs.
+	MaxJobs int
+	// MaxRunning bounds concurrently *running* async jobs — each one is
+	// a CPU-bound search goroutine, so without a cap a fast submitter
+	// could starve the whole server. Submissions past the cap get HTTP
+	// 429. 0 means max(4, 2×GOMAXPROCS).
+	MaxRunning int
 }
 
 // Server is the HTTP facade over one shared Solver.
 type Server struct {
 	solver *magma.Solver
+	cfg    Config
+	jobs   *jobSet
 }
 
-// New wraps a Solver. Every request runs against it concurrently.
-func New(solver *magma.Solver) *Server { return &Server{solver: solver} }
+// New wraps a Solver with default Config. Every request runs against it
+// concurrently.
+func New(solver *magma.Solver) *Server { return NewWith(solver, Config{}) }
+
+// NewWith wraps a Solver with explicit Config.
+func NewWith(solver *magma.Solver, cfg Config) *Server {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.MaxRunning <= 0 {
+		cfg.MaxRunning = 2 * runtime.GOMAXPROCS(0)
+		if cfg.MaxRunning < 4 {
+			cfg.MaxRunning = 4
+		}
+	}
+	return &Server{solver: solver, cfg: cfg, jobs: newJobSet(cfg.MaxJobs)}
+}
 
 // Solver returns the shared solver (the load generator reads its stats
 // directly).
@@ -152,6 +204,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/optimize", s.handleOptimize)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
 	return mux
 }
 
@@ -226,24 +280,27 @@ func workloadFor(req *OptimizeRequest) (magma.Workload, error) {
 	return magma.Workload{}, fmt.Errorf("missing workload: set workload (inline JSON) or generate (spec)")
 }
 
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "use POST")
-		return
-	}
-	start := time.Now()
+// runSpec is a fully-parsed, validated request, ready to run.
+type runSpec struct {
+	wl      magma.Workload
+	pf      magma.Platform
+	opts    magma.StreamOptions
+	timeout time.Duration // 0 = no cap
+}
+
+// parseRequest decodes and resolves an OptimizeRequest body into a
+// runSpec (shared by the sync /optimize and async /jobs paths). Errors
+// are client errors (HTTP 400).
+func (s *Server) parseRequest(body io.Reader) (*runSpec, error) {
 	var req OptimizeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
-		return
+		return nil, fmt.Errorf("decoding request: %w", err)
 	}
-
 	wl, err := workloadFor(&req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "workload: %v", err)
-		return
+		return nil, fmt.Errorf("workload: %w", err)
 	}
 	setting := req.Platform
 	if setting == "" {
@@ -251,47 +308,64 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	pf, err := magma.PlatformBySetting(setting)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "platform: %v", err)
-		return
+		return nil, fmt.Errorf("platform: %w", err)
 	}
 	if req.BW > 0 {
 		pf = pf.WithBW(req.BW)
 	}
 	obj, err := parseObjective(req.Options.Objective)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "options: %v", err)
-		return
+		return nil, fmt.Errorf("options: %w", err)
 	}
 	cache := true
 	if req.Options.Cache != nil {
 		cache = *req.Options.Cache
 	}
-	opts := magma.StreamOptions{
-		Mapper:         req.Options.Mapper,
-		Objective:      obj,
-		BudgetPerGroup: req.Options.BudgetPerGroup,
-		Seed:           req.Options.Seed,
-		Workers:        req.Options.Workers,
-		Cache:          cache,
-		WarmStart:      req.Options.WarmStart,
-		SharedWarm:     req.Options.SharedWarm,
+	spec := &runSpec{
+		wl: wl,
+		pf: pf,
+		opts: magma.StreamOptions{
+			Mapper:          req.Options.Mapper,
+			Objective:       obj,
+			BudgetPerGroup:  req.Options.BudgetPerGroup,
+			Seed:            req.Options.Seed,
+			Workers:         req.Options.Workers,
+			Cache:           cache,
+			WarmStart:       req.Options.WarmStart,
+			SharedWarm:      req.Options.SharedWarm,
+			EffectiveBudget: req.Options.EffectiveBudget,
+		},
+		timeout: s.cfg.JobTimeout,
 	}
-
-	res, err := s.solver.OptimizeStream(wl, pf, opts)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "optimize: %v", err)
-		return
+	// Up-front validation turns deep-stack failures into immediate 400s
+	// (unknown mapper, negative budget, effective budget without cache).
+	if err := spec.opts.Validate(); err != nil {
+		return nil, err
 	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("options: negative timeout_ms %d", req.TimeoutMS)
+	}
+	if req.TimeoutMS > 0 {
+		t := time.Duration(req.TimeoutMS) * time.Millisecond
+		if spec.timeout == 0 || t < spec.timeout {
+			spec.timeout = t
+		}
+	}
+	return spec, nil
+}
 
+// response assembles the wire reply from a stream result.
+func (s *Server) response(spec *runSpec, res magma.StreamResult, start time.Time) OptimizeResponse {
 	resp := OptimizeResponse{
-		Workload:         wl.Name,
-		Platform:         pf.String(),
+		Workload:         spec.wl.Name,
+		Platform:         spec.pf.String(),
 		TotalGFLOPs:      res.TotalGFLOPs,
 		TotalSeconds:     res.TotalSeconds,
 		ThroughputGFLOPs: res.ThroughputGFLOPs,
 		Cache:            cacheJSON(res.Cache),
 		Engine:           engineJSON(s.solver.Stats()),
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1e3,
+		Partial:          res.Partial,
 	}
 	for gi, sched := range res.Schedules {
 		resp.Groups = append(resp.Groups, GroupSchedule{
@@ -304,5 +378,37 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Queues:           sched.Mapping.Queues,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	start := time.Now()
+	spec, err := s.parseRequest(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The request context threads all the way into the generation loop:
+	// a dropped connection or the per-request timeout aborts the search
+	// within one generation and returns the best-so-far prefix.
+	ctx := r.Context()
+	if spec.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.timeout)
+		defer cancel()
+	}
+	res, err := s.solver.OptimizeStreamCtx(ctx, spec.wl, spec.pf, spec.opts)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if ctx.Err() != nil {
+			code = StatusClientClosedRequest
+		}
+		writeErr(w, code, "optimize: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.response(spec, res, start))
 }

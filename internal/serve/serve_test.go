@@ -190,7 +190,11 @@ func TestServeBadRequests(t *testing.T) {
 		{"unknown platform", `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":1},"platform":"S9"}`, http.StatusBadRequest},
 		{"unknown task", `{"generate":{"task":"Audio","num_jobs":16,"seed":1}}`, http.StatusBadRequest},
 		{"unknown objective", `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":1},"options":{"objective":"speed"}}`, http.StatusBadRequest},
-		{"unknown mapper", `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":1},"options":{"mapper":"bogus","budget_per_group":32}}`, http.StatusUnprocessableEntity},
+		// Up-front options validation: an unknown mapper (or a negative
+		// budget) is rejected before any search state is built.
+		{"unknown mapper", `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":1},"options":{"mapper":"bogus","budget_per_group":32}}`, http.StatusBadRequest},
+		{"negative timeout", `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":1},"timeout_ms":-5}`, http.StatusBadRequest},
+		{"effective budget without cache", `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":1},"options":{"cache":false,"effective_budget":true}}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,6 +7,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -51,6 +52,9 @@ type Result struct {
 	Best      []float64
 	BestScore float64
 	History   []Trial
+	// Aborted reports that the context was cancelled before all trials
+	// ran; Best/History hold the completed prefix.
+	Aborted bool
 }
 
 // Trial is one evaluated configuration.
@@ -62,6 +66,13 @@ type Trial struct {
 // Tune runs the SMBO loop over the space and returns the best found
 // configuration.
 func Tune(space []Param, obj Objective, cfg Config, seed int64) (Result, error) {
+	return TuneCtx(context.Background(), space, obj, cfg, seed)
+}
+
+// TuneCtx is Tune under a context: cancellation is observed before each
+// trial evaluation, and an aborted loop returns the best configuration
+// of the completed trials with Result.Aborted set (not an error).
+func TuneCtx(ctx context.Context, space []Param, obj Objective, cfg Config, seed int64) (Result, error) {
 	if len(space) == 0 {
 		return Result{}, fmt.Errorf("tuner: empty search space")
 	}
@@ -98,9 +109,17 @@ func Tune(space []Param, obj Objective, cfg Config, seed int64) (Result, error) 
 	}
 
 	for i := 0; i < cfg.InitRandom; i++ {
+		if ctx.Err() != nil {
+			res.Aborted = true
+			return res, nil
+		}
 		evaluate(sample())
 	}
 	for it := 0; it < cfg.Iterations; it++ {
+		if ctx.Err() != nil {
+			res.Aborted = true
+			return res, nil
+		}
 		bestEI, bestPt := math.Inf(-1), sample()
 		for c := 0; c < cfg.Candidates; c++ {
 			pt := sample()

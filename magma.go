@@ -27,21 +27,14 @@
 package magma
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"sync"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
 	"magma/internal/models"
-	"magma/internal/opt/cmaes"
-	"magma/internal/opt/de"
-	"magma/internal/opt/ga"
 	optmagma "magma/internal/opt/magma"
-	"magma/internal/opt/pso"
-	"magma/internal/opt/random"
-	"magma/internal/opt/rl"
-	"magma/internal/opt/tbpsa"
 	"magma/internal/platform"
 	"magma/internal/sim"
 	"magma/internal/workload"
@@ -106,11 +99,27 @@ const (
 	EDP        = m3e.EDP
 )
 
+// Genome is the encoded form of a schedule (§IV-A): the sub-accelerator
+// selection and job-priority sections. Re-exported so downstream Mapper
+// implementations can name the type they Ask and Tell.
+type Genome = encoding.Genome
+
+// SearchProblem is the problem instance handed to a Mapper's Init: the
+// job group, platform, objective and prebuilt analysis table. Re-exported
+// for downstream Mapper implementations.
+type SearchProblem = m3e.Problem
+
+// Progress is the per-generation snapshot handed to Options.Progress:
+// samples consumed, genomes asked, best fitness so far and the fitness-
+// cache counters.
+type Progress = m3e.Progress
+
 // Options configures one mapping search.
 type Options struct {
 	// Mapper selects the algorithm by its Table IV name: "MAGMA",
 	// "stdGA", "DE", "CMA", "TBPSA", "PSO", "Random", "RL A2C",
-	// "RL PPO2", "Herald-like", or "AI-MT-like". Empty means MAGMA.
+	// "RL PPO2", "Herald-like", or "AI-MT-like" — or any algorithm added
+	// with Register. Empty means MAGMA.
 	Mapper string
 	// Objective defaults to Throughput.
 	Objective Objective
@@ -140,6 +149,19 @@ type Options struct {
 	// Nil means a private single-use Solver — the historical facade
 	// behavior.
 	Solver *Solver
+	// EffectiveBudget, with Cache on, charges the sampling budget only
+	// for distinct schedules: cache hits and in-batch duplicates are
+	// free, so redundant optimizers explore several times more of the
+	// space at the same budget. Off by default (the paper charges every
+	// sample); an error without Cache. Schedule.Samples versus
+	// Schedule.Asked reports the stretch.
+	EffectiveBudget bool
+	// Progress, when non-nil, is called after every search generation
+	// with a live snapshot (samples consumed, best fitness, cache
+	// counters). It runs synchronously on the search goroutine: keep it
+	// fast and non-blocking. Ignored by the manual heuristics, which
+	// have no generations.
+	Progress func(Progress)
 }
 
 // CacheStats reports how the fitness cache resolved evaluations (see
@@ -166,47 +188,38 @@ type Schedule struct {
 	// Cache holds the fitness-cache counters of the search (zero unless
 	// Options.Cache was set; always zero for the manual heuristics).
 	Cache CacheStats
-}
-
-// MapperNames lists the supported Options.Mapper values in Table IV
-// order.
-func MapperNames() []string {
-	return []string{
-		"Herald-like", "AI-MT-like", "PSO", "CMA", "DE", "TBPSA",
-		"stdGA", "RL A2C", "RL PPO2", "Random", "MAGMA",
-	}
-}
-
-func newOptimizer(name string) (m3e.Optimizer, error) {
-	switch name {
-	case "", "MAGMA":
-		return optmagma.New(optmagma.Config{}), nil
-	case "stdGA":
-		return ga.New(ga.Config{}), nil
-	case "DE":
-		return de.New(de.Config{}), nil
-	case "CMA":
-		return cmaes.New(cmaes.Config{}), nil
-	case "TBPSA":
-		return tbpsa.New(tbpsa.Config{}), nil
-	case "PSO":
-		return pso.New(pso.Config{}), nil
-	case "Random":
-		return random.New(0), nil
-	case "RL A2C":
-		return rl.NewA2C(rl.A2CConfig{}), nil
-	case "RL PPO2":
-		return rl.NewPPO(rl.PPOConfig{}), nil
-	}
-	return nil, fmt.Errorf("magma: unknown mapper %q (known: %v)", name, MapperNames())
+	// Samples is the sampling budget actually consumed; Asked is the
+	// number of genomes processed. They differ only under
+	// Options.EffectiveBudget, where cached duplicates are free.
+	Samples int
+	Asked   int
+	// Partial reports that the search was aborted by its context
+	// (deadline, cancel, client disconnect) before the budget ran out.
+	// The schedule is the best found up to the last completed
+	// generation — identical to the same-seed full run's best at that
+	// point — and Curve holds the truncated convergence prefix.
+	Partial bool
 }
 
 // Optimize searches for a mapping of the group onto the platform and
-// returns the best schedule found. It is a thin wrapper over a Solver:
-// the one in opts.Solver when set, otherwise a private single-use one
-// (identical behavior to the historical per-call facade).
+// returns the best schedule found. It is OptimizeCtx with
+// context.Background(): not cancellable. New code that may need
+// deadlines or aborts should prefer OptimizeCtx.
 func Optimize(g Group, p Platform, opts Options) (Schedule, error) {
-	return solverFor(opts.Solver, opts.CacheSize).Optimize(g, p, opts)
+	return OptimizeCtx(context.Background(), g, p, opts)
+}
+
+// OptimizeCtx is Optimize under a context. When the context is
+// cancelled or its deadline fires mid-search, the run stops at the next
+// generation boundary (cancel latency is bounded by one generation's
+// evaluation cost) and returns the best-so-far schedule with
+// Schedule.Partial set — not an error. A context that is already dead
+// before any generation completes returns the context's error. A thin
+// wrapper over a Solver: the one in opts.Solver when set, otherwise a
+// private single-use one (identical behavior to the historical per-call
+// facade).
+func OptimizeCtx(ctx context.Context, g Group, p Platform, opts Options) (Schedule, error) {
+	return solverFor(opts.Solver, opts.CacheSize).OptimizeCtx(ctx, g, p, opts)
 }
 
 func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Genome, curve []float64, mapper string, obj Objective) (Schedule, error) {
@@ -228,7 +241,8 @@ func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Geno
 
 // Compare runs several mappers on the same group and platform and
 // returns their schedules sorted best-fitness-first. Mapper names as in
-// Options.Mapper; an empty list means every Table IV method.
+// Options.Mapper (Registered mappers included); an empty list means
+// every built-in Table IV method. CompareCtx with context.Background().
 //
 // The job-analysis table is built once and shared (it is read-only
 // during search), and the mappers run concurrently, up to Options.
@@ -238,7 +252,18 @@ func finishSchedule(prob *m3e.Problem, mapping sim.Mapping, genome encoding.Geno
 // so the returned schedules are identical for any worker count. A thin
 // wrapper over Solver.Compare (opts.Solver or a private one).
 func Compare(g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
-	return solverFor(opts.Solver, opts.CacheSize).Compare(g, p, mappers, opts)
+	return CompareCtx(context.Background(), g, p, mappers, opts)
+}
+
+// CompareCtx is Compare under a context. On cancellation each mapper
+// stops at its next generation boundary; mappers that already produced
+// at least one evaluated sample return partial schedules (Schedule.
+// Partial set), mappers with nothing yet are omitted, and the call
+// returns the surviving leaderboard without error. Only when the
+// context dies before any mapper evaluates anything does CompareCtx
+// return the context's error.
+func CompareCtx(ctx context.Context, g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
+	return solverFor(opts.Solver, opts.CacheSize).CompareCtx(ctx, g, p, mappers, opts)
 }
 
 // RenderSchedule writes an ASCII Gantt-style visualization of a

@@ -1,6 +1,7 @@
 package magma
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -9,7 +10,6 @@ import (
 
 	"magma/internal/encoding"
 	"magma/internal/engine"
-	"magma/internal/heuristics"
 	"magma/internal/m3e"
 	optmagma "magma/internal/opt/magma"
 )
@@ -96,26 +96,31 @@ func solverFor(s *Solver, cacheSize int) *Solver {
 
 // Optimize searches for a mapping of the group onto the platform, as
 // the package-level Optimize, but against the Solver's cached problem
-// and shared fitness store.
+// and shared fitness store. OptimizeCtx with context.Background().
 func (s *Solver) Optimize(g Group, p Platform, opts Options) (Schedule, error) {
+	return s.OptimizeCtx(context.Background(), g, p, opts)
+}
+
+// OptimizeCtx is Optimize under a context; see the package-level
+// OptimizeCtx for the cancellation contract (best-so-far schedule with
+// Partial set, never a half-applied generation).
+func (s *Solver) OptimizeCtx(ctx context.Context, g Group, p Platform, opts Options) (Schedule, error) {
+	if err := opts.Validate(); err != nil {
+		return Schedule{}, err
+	}
 	h, err := s.eng.Problem(g, p, opts.Objective)
 	if err != nil {
 		return Schedule{}, err
 	}
-	return s.optimizeHandle(h, g, opts)
+	return s.optimizeHandle(ctx, h, g, opts)
 }
 
 // optimizeHandle runs one mapper against a leased problem, letting
 // Compare share a single job-analysis table across every mapper instead
-// of re-profiling the group per mapper.
-func (s *Solver) optimizeHandle(h *engine.ProblemHandle, g Group, opts Options) (Schedule, error) {
+// of re-profiling the group per mapper. The caller has validated opts.
+func (s *Solver) optimizeHandle(ctx context.Context, h *engine.ProblemHandle, g Group, opts Options) (Schedule, error) {
 	prob := h.Prob()
-	switch opts.Mapper {
-	case "Herald-like", "AI-MT-like":
-		var mapper heuristics.Mapper = heuristics.HeraldLike{}
-		if opts.Mapper == "AI-MT-like" {
-			mapper = heuristics.AIMTLike{}
-		}
+	if mapper := heuristicFor(opts.Mapper); mapper != nil {
 		mapping, err := mapper.Map(prob.Table)
 		if err != nil {
 			return Schedule{}, err
@@ -137,33 +142,54 @@ func (s *Solver) optimizeHandle(h *engine.ProblemHandle, g Group, opts Options) 
 			seeder.Seed(seeds)
 		}
 	}
-	res, err := h.Run(opt, m3e.Options{
-		Budget:    opts.Budget,
-		Workers:   opts.Workers,
-		Cache:     opts.Cache,
-		CacheSize: opts.CacheSize,
+	res, err := h.RunCtx(ctx, opt, m3e.Options{
+		Budget:          opts.Budget,
+		Workers:         opts.Workers,
+		Cache:           opts.Cache,
+		CacheSize:       opts.CacheSize,
+		EffectiveBudget: opts.EffectiveBudget,
+		Observer:        opts.Progress,
 	}, opts.Seed)
 	if err != nil {
 		return Schedule{}, err
+	}
+	if res.Aborted && res.Asked == 0 {
+		// Dead before the first generation: there is no best-so-far
+		// schedule to return. (Asked, not Samples — under EffectiveBudget
+		// an all-cache-hit prefix has Samples 0 but a real best.)
+		return Schedule{}, ctx.Err()
 	}
 	sched, err := finishSchedule(prob, res.BestMapping(prob.NumAccels()), res.Best, res.Curve, res.Method, opts.Objective)
 	if err != nil {
 		return Schedule{}, err
 	}
 	sched.Cache = res.Cache
+	sched.Samples = res.Samples
+	sched.Asked = res.Asked
+	sched.Partial = res.Aborted
 	return sched, nil
 }
 
 // Compare runs several mappers on the same group and platform and
 // returns their schedules sorted best-fitness-first, as the
-// package-level Compare. The job-analysis table is leased once from
-// the Solver's cache; with Options.Cache set, every mapper shares the
-// problem's fitness store (bit-identical results — a cached fitness
-// equals a recomputed one — with cross-mapper hits counted in each
-// Schedule.Cache.CrossHits).
+// package-level Compare. CompareCtx with context.Background().
 func (s *Solver) Compare(g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
+	return s.CompareCtx(context.Background(), g, p, mappers, opts)
+}
+
+// CompareCtx is Compare under a context. The job-analysis table is
+// leased once from the Solver's cache; with Options.Cache set, every
+// mapper shares the problem's fitness store (bit-identical results — a
+// cached fitness equals a recomputed one — with cross-mapper hits
+// counted in each Schedule.Cache.CrossHits). On cancellation, mappers
+// that evaluated at least one sample return partial schedules; mappers
+// with nothing yet are omitted (see the package-level CompareCtx).
+func (s *Solver) CompareCtx(ctx context.Context, g Group, p Platform, mappers []string, opts Options) ([]Schedule, error) {
 	if len(mappers) == 0 {
 		mappers = MapperNames()
+	}
+	if err := opts.validateFor(mappers); err != nil {
+		return nil, err
 	}
 	h, err := s.eng.Problem(g, p, opts.Objective)
 	if err != nil {
@@ -176,6 +202,19 @@ func (s *Solver) Compare(g Group, p Platform, mappers []string, opts Options) ([
 	if workers > len(mappers) {
 		workers = len(mappers)
 	}
+	if opts.Progress != nil {
+		// Mappers run concurrently, but Options.Progress promises its
+		// caller a non-overlapping callback — serialize it here so a
+		// non-thread-safe observer stays safe on the Compare path.
+		var mu sync.Mutex
+		orig := opts.Progress
+		opts.Progress = func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			orig(p)
+		}
+	}
+	filled := make([]bool, len(mappers))
 	out := make([]Schedule, len(mappers))
 	errs := make([]error, len(mappers))
 	sem := make(chan struct{}, workers)
@@ -190,12 +229,17 @@ func (s *Solver) Compare(g Group, p Platform, mappers []string, opts Options) ([
 			o.Mapper = name
 			o.Seed = opts.Seed + int64(i)
 			o.Workers = 1
-			sched, err := s.optimizeHandle(h, g, o)
-			if err != nil {
+			sched, err := s.optimizeHandle(ctx, h, g, o)
+			switch {
+			case err == nil:
+				out[i] = sched
+				filled[i] = true
+			case ctx.Err() != nil && err == ctx.Err():
+				// Cancelled before this mapper produced anything: drop the
+				// entry rather than failing the whole leaderboard.
+			default:
 				errs[i] = fmt.Errorf("magma: mapper %s: %w", name, err)
-				return
 			}
-			out[i] = sched
 		}(i, name)
 	}
 	wg.Wait()
@@ -204,8 +248,19 @@ func (s *Solver) Compare(g Group, p Platform, mappers []string, opts Options) ([
 			return nil, err
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Fitness > out[j].Fitness })
-	return out, nil
+	kept := out[:0]
+	for i, s := range out {
+		if filled[i] {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Fitness > kept[j].Fitness })
+	return kept, nil
 }
 
 // OptimizeStream schedules every group of a workload in sequence, as
@@ -218,8 +273,21 @@ func (s *Solver) Compare(g Group, p Platform, mappers []string, opts Options) ([
 // own groups, keeping repeated requests bit-identical); SharedWarm opts
 // into the Solver's cross-request store.
 func (s *Solver) OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, error) {
+	return s.OptimizeStreamCtx(context.Background(), wl, p, opts)
+}
+
+// OptimizeStreamCtx is OptimizeStream under a context. Cancellation
+// stops the stream: the in-flight group contributes its best-so-far
+// schedule (Schedule.Partial set) when it has one, later groups are not
+// started, and the truncated StreamResult is returned with Partial set —
+// not an error. Only a context that dies before any schedule exists
+// returns the context's error.
+func (s *Solver) OptimizeStreamCtx(ctx context.Context, wl Workload, p Platform, opts StreamOptions) (StreamResult, error) {
 	if len(wl.Groups) == 0 {
 		return StreamResult{}, fmt.Errorf("magma: workload has no groups")
+	}
+	if err := opts.Validate(); err != nil {
+		return StreamResult{}, err
 	}
 	store := NewWarmStore(0)
 	if opts.SharedWarm {
@@ -228,6 +296,10 @@ func (s *Solver) OptimizeStream(wl Workload, p Platform, opts StreamOptions) (St
 	var res StreamResult
 	var totalFLOPs int64
 	for gi, g := range wl.Groups {
+		if ctx.Err() != nil {
+			res.Partial = true
+			break
+		}
 		budget := opts.BudgetPerGroup
 		if budget <= 0 {
 			budget = m3e.DefaultBudget / len(wl.Groups)
@@ -238,19 +310,30 @@ func (s *Solver) OptimizeStream(wl Workload, p Platform, opts StreamOptions) (St
 			budget = floor
 		}
 		o := Options{
-			Mapper:    opts.Mapper,
-			Objective: opts.Objective,
-			Budget:    budget,
-			Seed:      opts.Seed + int64(gi),
-			Workers:   opts.Workers,
-			Cache:     opts.Cache,
-			CacheSize: opts.CacheSize,
+			Mapper:          opts.Mapper,
+			Objective:       opts.Objective,
+			Budget:          budget,
+			Seed:            opts.Seed + int64(gi),
+			Workers:         opts.Workers,
+			Cache:           opts.Cache,
+			CacheSize:       opts.CacheSize,
+			EffectiveBudget: opts.EffectiveBudget,
+		}
+		if opts.Progress != nil {
+			gi := gi
+			o.Progress = func(p Progress) { opts.Progress(gi, p) }
 		}
 		if opts.WarmStart {
 			o.WarmStart = store.Seeds(wl.Task, len(g.Jobs))
 		}
-		sched, err := s.Optimize(g, p, o)
+		sched, err := s.OptimizeCtx(ctx, g, p, o)
 		if err != nil {
+			if ctx.Err() != nil && err == ctx.Err() {
+				// Cancelled before this group's first generation: no
+				// partial schedule to keep.
+				res.Partial = true
+				break
+			}
 			return StreamResult{}, fmt.Errorf("magma: group %d of %d (task %s, %d jobs): %w",
 				gi, len(wl.Groups), wl.Task, len(g.Jobs), err)
 		}
@@ -261,6 +344,13 @@ func (s *Solver) OptimizeStream(wl Workload, p Platform, opts StreamOptions) (St
 		res.Cache.Add(sched.Cache)
 		totalFLOPs += g.TotalFLOPs()
 		res.TotalSeconds += sched.MakespanCycles / clockHz()
+		if sched.Partial {
+			res.Partial = true
+			break
+		}
+	}
+	if res.Partial && len(res.Schedules) == 0 {
+		return StreamResult{}, ctx.Err()
 	}
 	res.TotalGFLOPs = float64(totalFLOPs) / 1e9
 	if res.TotalSeconds > 0 {
@@ -277,6 +367,15 @@ func (s *Solver) OptimizeStream(wl Workload, p Platform, opts StreamOptions) (St
 // the search and is returned (a silent zero would bias the tuner
 // toward broken configurations).
 func (s *Solver) Tune(g Group, p Platform, budget int, trials int, seed int64) ([]float64, float64, error) {
+	return s.TuneCtx(context.Background(), g, p, budget, trials, seed)
+}
+
+// TuneCtx is Tune under a context. Cancellation aborts the in-flight
+// trial at its next generation boundary (its truncated score is
+// discarded) and stops the trial loop; the best configuration of the
+// completed trials is returned together with the context's error, so
+// callers can both detect the abort and use the partial answer.
+func (s *Solver) TuneCtx(ctx context.Context, g Group, p Platform, budget int, trials int, seed int64) ([]float64, float64, error) {
 	h, err := s.eng.Problem(g, p, Throughput)
 	if err != nil {
 		return nil, 0, err
@@ -303,7 +402,7 @@ func (s *Solver) Tune(g Group, p Platform, budget int, trials int, seed int64) (
 		// The cache is pure wall-clock savings here: trials repeat the
 		// identical problem, so the Solver's shared store answers most
 		// of a trial's evaluations from its predecessors.
-		res, err := h.Run(optmagma.New(cfg), m3e.Options{Budget: budget, Cache: true}, seed)
+		res, err := h.RunCtx(ctx, optmagma.New(cfg), m3e.Options{Budget: budget, Cache: true}, seed)
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
@@ -312,14 +411,22 @@ func (s *Solver) Tune(g Group, p Platform, budget int, trials int, seed int64) (
 			mu.Unlock()
 			return math.Inf(-1)
 		}
+		if res.Aborted {
+			// A truncated trial's score is not comparable to full trials;
+			// the tuner's own ctx check ends the loop right after.
+			return math.Inf(-1)
+		}
 		return res.BestFitness
 	}
-	res, err := runTuner(space, obj, trials, seed)
+	res, err := runTuner(ctx, space, obj, trials, seed)
 	if err != nil {
 		return nil, 0, err
 	}
 	if firstErr != nil {
 		return nil, 0, fmt.Errorf("magma: tune trial failed: %w", firstErr)
+	}
+	if res.Aborted {
+		return res.Best, res.BestScore, ctx.Err()
 	}
 	return res.Best, res.BestScore, nil
 }

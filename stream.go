@@ -1,5 +1,7 @@
 package magma
 
+import "context"
+
 // StreamOptions configures OptimizeStream.
 type StreamOptions struct {
 	// Mapper as in Options (default MAGMA).
@@ -38,6 +40,13 @@ type StreamOptions struct {
 	// Solver, when non-nil, runs every group against a long-lived
 	// Solver (see Options.Solver). Nil means a private single-use one.
 	Solver *Solver
+	// EffectiveBudget charges each group's budget only for distinct
+	// schedules (see Options.EffectiveBudget; requires Cache).
+	EffectiveBudget bool
+	// Progress, when non-nil, is called after every generation of every
+	// group search with the group index and the live snapshot. Same
+	// contract as Options.Progress: synchronous, keep it fast.
+	Progress func(group int, p Progress)
 }
 
 // StreamResult aggregates a scheduled workload stream.
@@ -54,15 +63,28 @@ type StreamResult struct {
 	// Cache aggregates the fitness-cache counters across all group
 	// searches (zero unless StreamOptions.Cache).
 	Cache CacheStats
+	// Partial reports that the stream was aborted by its context before
+	// every group was scheduled: Schedules holds the completed prefix,
+	// whose last entry may itself be partial (Schedule.Partial).
+	Partial bool
 }
 
 // OptimizeStream schedules every group of a workload in sequence — the
 // deployment loop of the multi-tenant system (Fig. 1): the host chops
 // the job queue into dependency-free groups, and the mapper places each
 // group, optionally warm-starting from previously solved groups. A thin
-// wrapper over Solver.OptimizeStream (opts.Solver or a private one).
+// wrapper over Solver.OptimizeStream (opts.Solver or a private one);
+// OptimizeStreamCtx with context.Background().
 func OptimizeStream(wl Workload, p Platform, opts StreamOptions) (StreamResult, error) {
-	return solverFor(opts.Solver, opts.CacheSize).OptimizeStream(wl, p, opts)
+	return OptimizeStreamCtx(context.Background(), wl, p, opts)
+}
+
+// OptimizeStreamCtx is OptimizeStream under a context: cancellation
+// truncates the stream to the groups scheduled so far (the in-flight
+// group contributes its best-so-far schedule) and sets StreamResult.
+// Partial; see Solver.OptimizeStreamCtx.
+func OptimizeStreamCtx(ctx context.Context, wl Workload, p Platform, opts StreamOptions) (StreamResult, error) {
+	return solverFor(opts.Solver, opts.CacheSize).OptimizeStreamCtx(ctx, wl, p, opts)
 }
 
 // clockHz exposes the platform clock for cycle-to-time conversion.
@@ -73,7 +95,15 @@ func clockHz() float64 { return platformClockHz }
 // returns the best configuration found as (mutation, crossover-gen,
 // crossover-rg, crossover-accel, elite-ratio) plus its fitness. The
 // first trial-evaluation error aborts the search and is returned. A
-// thin wrapper over Solver.Tune on a private single-use Solver.
+// thin wrapper over Solver.Tune on a private single-use Solver; TuneCtx
+// with context.Background().
 func Tune(g Group, p Platform, budget int, trials int, seed int64) ([]float64, float64, error) {
 	return NewSolver(SolverOptions{}).Tune(g, p, budget, trials, seed)
+}
+
+// TuneCtx is Tune under a context: cancellation stops the trial loop
+// and returns the best configuration of the completed trials together
+// with the context's error (see Solver.TuneCtx).
+func TuneCtx(ctx context.Context, g Group, p Platform, budget int, trials int, seed int64) ([]float64, float64, error) {
+	return NewSolver(SolverOptions{}).TuneCtx(ctx, g, p, budget, trials, seed)
 }
