@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -49,13 +48,15 @@ import (
 	"magma/internal/opt/random"
 	"magma/internal/opt/tbpsa"
 	"magma/internal/platform"
+	"magma/internal/rng"
 	"magma/internal/serve"
 	"magma/internal/sim"
 	"magma/internal/workload"
 )
 
-// newRand builds a deterministic RNG so the report is reproducible.
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// newRand builds a deterministic RNG stream (layout v2) so the report
+// is reproducible.
+func newRand(seed int64) *rng.Stream { return rng.New(seed) }
 
 // Measurement is one benchmark row of the JSON artifact.
 type Measurement struct {
@@ -92,6 +93,44 @@ type Report struct {
 	// combination: how many distinct schedules the same budget explores
 	// with duplicates charged (baseline, paper-faithful) versus free.
 	EffectiveBudget EffectiveBudgetReport `json:"effective_budget"`
+	// PhaseBreakdown splits a full cached MAGMA search's generation into
+	// its ask / fingerprint / simulate / tell phases at workers=1 and at
+	// the -workers flag — the evidence that parallel breeding shrinks
+	// the tell phase and incremental fingerprints shrink the fingerprint
+	// phase. The multi-core CI job fails if this section goes missing.
+	PhaseBreakdown PhaseBreakdown `json:"phase_breakdown"`
+}
+
+// PhaseBreakdown is one per-phase wall-clock comparison across worker
+// counts (same seed, same budget: results are bit-identical, only the
+// phase timings move).
+type PhaseBreakdown struct {
+	Mapper    string     `json:"mapper"`
+	GroupSize int        `json:"group_size"`
+	Budget    int        `json:"budget"`
+	Rows      []PhaseRow `json:"rows"`
+	// TellSpeedup is serial tell-phase ns/gen divided by the best
+	// parallel row's — the parallel-breeding payoff (1.0 on one core).
+	TellSpeedup float64 `json:"tell_speedup"`
+}
+
+// PhaseRow is one run's per-generation phase timings.
+type PhaseRow struct {
+	Workers             int     `json:"workers"`
+	Generations         int     `json:"generations"`
+	AskNsPerGen         float64 `json:"ask_ns_per_gen"`
+	FingerprintNsPerGen float64 `json:"fingerprint_ns_per_gen"`
+	SimulateNsPerGen    float64 `json:"simulate_ns_per_gen"`
+	TellNsPerGen        float64 `json:"tell_ns_per_gen"`
+	// TellShare is the tell phase's fraction of the generation.
+	TellShare float64 `json:"tell_share"`
+	// FastFPRate is the fraction of fingerprints resolved without a
+	// full decode (clean elite copies + incremental dirty-core rebuilds).
+	FastFPRate float64 `json:"fast_fp_rate"`
+	// FPFull / FPIncremental / FPClean are the fingerprint-path counters.
+	FPFull        uint64 `json:"fp_full"`
+	FPIncremental uint64 `json:"fp_incremental"`
+	FPClean       uint64 `json:"fp_clean"`
 }
 
 // EffectiveBudgetReport compares one cached search with and without
@@ -132,6 +171,7 @@ func main() {
 		serveOut  = flag.String("serveout", "BENCH_serve.json", "output path for the serve load-test report")
 		requests  = flag.Int("requests", 24, "serve mode: total requests to fire")
 		clients   = flag.Int("clients", 4, "serve mode: concurrent clients")
+		workers   = flag.Int("workers", 0, "worker count for the phase-breakdown searches (0 = GOMAXPROCS)")
 	)
 	testing.Init() // registers test.* flags so benchtime is settable
 	flag.Parse()
@@ -199,6 +239,7 @@ func main() {
 				b.Fatal(err)
 			}
 			pool := m3e.NewPool(prob, workers)
+			opt.SetBreeder(pool) // Tell breeds on the same worker set
 			fit := make([]float64, groupSize)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -228,7 +269,9 @@ func main() {
 				b.Fatal(err)
 			}
 			pool := m3e.NewPool(prob, workers)
+			opt.SetBreeder(pool)
 			cache := m3e.NewFitnessCache(prob, 0)
+			cache.SetTracker(opt)
 			fit := make([]float64, groupSize)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -244,6 +287,89 @@ func main() {
 	}
 	if serialCached > 0 {
 		rep.CachedSpeedup = serial / serialCached
+	}
+
+	// Fingerprint paths: the full decode+hash versus the incremental
+	// rebuild (one dirty core) versus the clean elite copy.
+	fpParent := encoding.Random(groupSize, prob.NumAccels(), newRand(4))
+	var fpParentMap sim.Mapping
+	nAccels := prob.NumAccels()
+	fpParentCH := make(encoding.CoreHashes, nAccels)
+	fpParent.FingerprintCoresInto(nAccels, &fpParentMap, fpParentCH)
+	rep.Measurements = append(rep.Measurements, measure("FingerprintInto", func(b *testing.B) {
+		var m sim.Mapping
+		ch := make(encoding.CoreHashes, nAccels)
+		for i := 0; i < b.N; i++ {
+			fpParent.FingerprintCoresInto(nAccels, &m, ch)
+		}
+	}))
+	fpChild := fpParent.Clone()
+	fpDirty := make([]bool, nAccels)
+	fpChild.Prio[0] = fpChild.Prio[0] / 2 // priority-only: dirties exactly one core
+	fpDirty[fpChild.Accel[0]] = true
+	rep.Measurements = append(rep.Measurements, measure("FingerprintUpdate/1-core", func(b *testing.B) {
+		var m sim.Mapping
+		ch := make(encoding.CoreHashes, nAccels)
+		for i := 0; i < b.N; i++ {
+			encoding.FingerprintUpdate(fpChild, nAccels, fpDirty, &fpParentMap, fpParentCH, &m, ch)
+		}
+	}))
+	fpClean := make([]bool, nAccels)
+	rep.Measurements = append(rep.Measurements, measure("FingerprintUpdate/clean", func(b *testing.B) {
+		var m sim.Mapping
+		ch := make(encoding.CoreHashes, nAccels)
+		for i := 0; i < b.N; i++ {
+			encoding.FingerprintUpdate(fpParent, nAccels, fpClean, &fpParentMap, fpParentCH, &m, ch)
+		}
+	}))
+
+	// Phase breakdown: full cached MAGMA searches, bit-identical across
+	// worker counts, timed per phase by the runner itself.
+	rep.PhaseBreakdown = PhaseBreakdown{Mapper: "MAGMA", GroupSize: groupSize, Budget: m3e.DefaultBudget}
+	resolved := *workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	phaseWorkers := []int{1}
+	if resolved != 1 {
+		phaseWorkers = append(phaseWorkers, resolved)
+	}
+	var serialTell, bestTell float64
+	for _, w := range phaseWorkers {
+		res, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{
+			Budget: m3e.DefaultBudget, Workers: w, Cache: true,
+		}, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ph, gens := res.Phases, float64(res.Phases.Generations)
+		total := float64(ph.AskNs + ph.FingerprintNs + ph.SimulateNs + ph.TellNs)
+		row := PhaseRow{
+			Workers:             w,
+			Generations:         ph.Generations,
+			AskNsPerGen:         float64(ph.AskNs) / gens,
+			FingerprintNsPerGen: float64(ph.FingerprintNs) / gens,
+			SimulateNsPerGen:    float64(ph.SimulateNs) / gens,
+			TellNsPerGen:        float64(ph.TellNs) / gens,
+			FastFPRate:          res.Cache.FastFPRate(),
+			FPFull:              res.Cache.FullFP,
+			FPIncremental:       res.Cache.IncrementalFP,
+			FPClean:             res.Cache.CleanFP,
+		}
+		if total > 0 {
+			row.TellShare = float64(ph.TellNs) / total
+		}
+		rep.PhaseBreakdown.Rows = append(rep.PhaseBreakdown.Rows, row)
+		if w == 1 {
+			serialTell = row.TellNsPerGen
+		} else if bestTell == 0 || row.TellNsPerGen < bestTell {
+			bestTell = row.TellNsPerGen
+		}
+	}
+	if bestTell > 0 {
+		rep.PhaseBreakdown.TellSpeedup = serialTell / bestTell
+	} else {
+		rep.PhaseBreakdown.TellSpeedup = 1
 	}
 
 	// Measured duplicate rate of each optimizer's search stream: one
@@ -326,6 +452,12 @@ func main() {
 	for _, name := range []string{"MAGMA", "stdGA", "DE", "CMA", "TBPSA", "PSO", "Random"} {
 		fmt.Printf("cache hit rate %-8s %5.1f%%\n", name+":", 100*rep.CacheHitRateByMapper[name])
 	}
+	for _, row := range rep.PhaseBreakdown.Rows {
+		fmt.Printf("phases workers=%-2d (per gen): ask %8.0f ns | fingerprint %8.0f ns (fast %4.1f%%) | simulate %8.0f ns | tell %8.0f ns (%.1f%% of gen)\n",
+			row.Workers, row.AskNsPerGen, row.FingerprintNsPerGen, 100*row.FastFPRate,
+			row.SimulateNsPerGen, row.TellNsPerGen, 100*row.TellShare)
+	}
+	fmt.Printf("tell-phase speedup vs serial: %.2fx\n", rep.PhaseBreakdown.TellSpeedup)
 	eb := rep.EffectiveBudget
 	fmt.Printf("effective budget (%s, group %d, budget %d): %d -> %d distinct schedules (%.2fx, %d asked)\n",
 		eb.Mapper, eb.GroupSize, eb.Budget, eb.BaselineDistinct, eb.EffectiveDistinct, eb.DistinctStretch, eb.EffectiveAsked)

@@ -3,7 +3,6 @@ package magma
 import (
 	"context"
 	"math"
-	"math/rand"
 	"strings"
 	"sync"
 	"testing"
@@ -173,12 +172,12 @@ func TestTuneCtxAbort(t *testing.T) {
 // public API: uniform random sampling via the exported Genome fields.
 type uniformMapper struct {
 	n, a int
-	rng  *rand.Rand
+	rng  *RNG
 }
 
 func (u *uniformMapper) Name() string { return "test-uniform" }
 
-func (u *uniformMapper) Init(p *SearchProblem, rng *rand.Rand) error {
+func (u *uniformMapper) Init(p *SearchProblem, rng *RNG) error {
 	u.n, u.a, u.rng = p.NumJobs(), p.NumAccels(), rng
 	return nil
 }

@@ -17,7 +17,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"magma/internal/sim"
 )
@@ -57,8 +56,16 @@ func (g Genome) Clone() Genome {
 	}
 }
 
+// Rand is the randomness Random consumes. Both *math/rand.Rand and
+// internal/rng's *Stream satisfy it, so the encoding stays agnostic to
+// which RNG layout a caller runs under.
+type Rand interface {
+	Intn(n int) int
+	Float64() float64
+}
+
 // Random draws a uniform random individual.
-func Random(nJobs, nAccels int, r *rand.Rand) Genome {
+func Random(nJobs, nAccels int, r Rand) Genome {
 	g := Genome{Accel: make([]int, nJobs), Prio: make([]float64, nJobs)}
 	for i := range g.Accel {
 		g.Accel[i] = r.Intn(nAccels)
@@ -82,37 +89,50 @@ func Decode(g Genome, nAccels int) sim.Mapping {
 // zero heap allocations, which makes it the decode step of the parallel
 // evaluation engine (one scratch Mapping per worker).
 func DecodeInto(g Genome, nAccels int, m *sim.Mapping) {
-	if cap(m.Queues) >= nAccels {
-		m.Queues = m.Queues[:nAccels]
-	} else {
-		q := make([][]int, nAccels)
-		copy(q, m.Queues) // keep already-grown per-core buffers
-		m.Queues = q
-	}
+	sizeQueues(m, nAccels)
 	for a := range m.Queues {
 		m.Queues[a] = m.Queues[a][:0]
 	}
 	for j, a := range g.Accel {
 		m.Queues[a] = append(m.Queues[a], j)
 	}
-	// Queues are filled in ascending job ID, so a stable insertion sort
-	// on the priority gene (ties by job ID) reproduces Decode's
-	// sort.SliceStable order without its closure/interface allocations.
 	for _, q := range m.Queues {
-		for i := 1; i < len(q); i++ {
-			j := q[i]
-			pj := g.Prio[j]
-			k := i - 1
-			for k >= 0 {
-				pk := g.Prio[q[k]]
-				if pk < pj || (pk == pj && q[k] < j) {
-					break
-				}
-				q[k+1] = q[k]
-				k--
+		sortQueue(q, g.Prio)
+	}
+}
+
+// sizeQueues resizes m to nAccels queues, keeping already-grown
+// per-core buffers. Queue contents are left as-is; callers truncate or
+// overwrite per core.
+func sizeQueues(m *sim.Mapping, nAccels int) {
+	if cap(m.Queues) >= nAccels {
+		m.Queues = m.Queues[:nAccels]
+		return
+	}
+	q := make([][]int, nAccels)
+	copy(q, m.Queues)
+	m.Queues = q
+}
+
+// sortQueue orders one core's queue by ascending priority gene, ties by
+// job ID. Queues are filled in ascending job ID, so a stable insertion
+// sort reproduces Decode's historical sort.SliceStable order without
+// its closure/interface allocations; queues are short (group size /
+// cores), so O(n²) insertion beats the general sort.
+func sortQueue(q []int, prio []float64) {
+	for i := 1; i < len(q); i++ {
+		j := q[i]
+		pj := prio[j]
+		k := i - 1
+		for k >= 0 {
+			pk := prio[q[k]]
+			if pk < pj || (pk == pj && q[k] < j) {
+				break
 			}
-			q[k+1] = j
+			q[k+1] = q[k]
+			k--
 		}
+		q[k+1] = j
 	}
 }
 

@@ -10,8 +10,19 @@ import "magma/internal/sim"
 // nothing and is directly usable as a map key, so it is the identity
 // the evaluation engine's fitness cache runs on.
 //
-// Fingerprints are only comparable within one problem (same group and
-// platform): the hash covers the queue contents, not the dimensions.
+// Layout (v2, incremental-friendly): each core's queue is hashed
+// independently into a per-core lane pair (hashQueue), and the per-core
+// hashes are chain-combined in core order (CombineCoreHashes). The
+// schedule fingerprint is therefore a function of the per-core hashes
+// alone — so when an operator dirties only some cores, the fingerprint
+// can be rebuilt from the parent's cached per-core hashes plus a
+// re-hash of just the dirty cores (FingerprintUpdate), skipping the
+// full decode.
+//
+// Fingerprints are in-memory identities, only comparable within one
+// problem (same group and platform): the hash covers the queue
+// contents, not the dimensions, and the layout may change across
+// versions (it is never persisted — unlike TableIdentity, which is).
 type Fingerprint struct {
 	A, B uint64
 }
@@ -26,21 +37,49 @@ const (
 	altPrime64  = 0xc2b2ae3d27d4eb4f
 )
 
-// FingerprintMapping hashes per-core queues into a Fingerprint. The
-// token stream is prefix-free — each queue contributes its length, then
-// its job IDs — so distinct queue structures never serialize to the
-// same stream. Allocation-free.
+// CoreHashes holds one schedule's per-core lane hashes (index =
+// sub-accelerator ID, length = nAccels). Together with the decoded
+// mapping it is the cached state FingerprintUpdate rebuilds incremental
+// fingerprints against.
+type CoreHashes []Fingerprint
+
+// hashQueue hashes one core's ordered queue into its lane pair. The
+// token stream is prefix-free — the queue length, then its job IDs — so
+// distinct queues never serialize to the same stream. Allocation-free.
+func hashQueue(q []int) Fingerprint {
+	a, b := uint64(fnvOffset64), uint64(altOffset64)
+	x := uint64(len(q))
+	a = (a ^ x) * fnvPrime64
+	b = (b ^ x) * altPrime64
+	for _, j := range q {
+		x = uint64(j) + 1 // +1 keeps job 0 distinct from padding-like zeros
+		a = (a ^ x) * fnvPrime64
+		b = (b ^ x) * altPrime64
+	}
+	return Fingerprint{A: a, B: b}
+}
+
+// CombineCoreHashes chain-combines per-core lane hashes, in core order,
+// into the schedule fingerprint. The chain is order-sensitive (core 0
+// then core 1 differs from the swap), matching the decoded mapping's
+// positional queue semantics.
+func CombineCoreHashes(ch CoreHashes) Fingerprint {
+	a, b := uint64(fnvOffset64), uint64(altOffset64)
+	for _, h := range ch {
+		a = (a ^ h.A) * fnvPrime64
+		b = (b ^ h.B) * altPrime64
+	}
+	return Fingerprint{A: a, B: b}
+}
+
+// FingerprintMapping hashes per-core queues into a Fingerprint.
+// Allocation-free.
 func FingerprintMapping(m sim.Mapping) Fingerprint {
 	a, b := uint64(fnvOffset64), uint64(altOffset64)
 	for _, q := range m.Queues {
-		x := uint64(len(q))
-		a = (a ^ x) * fnvPrime64
-		b = (b ^ x) * altPrime64
-		for _, j := range q {
-			x = uint64(j) + 1 // +1 keeps job 0 distinct from padding-like zeros
-			a = (a ^ x) * fnvPrime64
-			b = (b ^ x) * altPrime64
-		}
+		h := hashQueue(q)
+		a = (a ^ h.A) * fnvPrime64
+		b = (b ^ h.B) * altPrime64
 	}
 	return Fingerprint{A: a, B: b}
 }
@@ -55,7 +94,55 @@ func (g Genome) FingerprintInto(nAccels int, scratch *sim.Mapping) Fingerprint {
 	return FingerprintMapping(*scratch)
 }
 
+// FingerprintCoresInto is FingerprintInto recording each core's lane
+// hash into ch (which must have length nAccels): the full-decode form
+// that seeds the incremental path. Steady-state allocation-free.
+func (g Genome) FingerprintCoresInto(nAccels int, scratch *sim.Mapping, ch CoreHashes) Fingerprint {
+	DecodeInto(g, nAccels, scratch)
+	for a, q := range scratch.Queues {
+		ch[a] = hashQueue(q)
+	}
+	return CombineCoreHashes(ch)
+}
+
 // Fingerprint is the allocating convenience form of FingerprintInto.
 func (g Genome) Fingerprint(nAccels int) Fingerprint {
 	return FingerprintMapping(Decode(g, nAccels))
+}
+
+// FingerprintUpdate fingerprints child against an already-fingerprinted
+// parent when the caller knows which cores the variation operators
+// dirtied: clean cores' queues and lane hashes are copied verbatim from
+// the parent, and only dirty cores are re-bucketed, re-sorted and
+// re-hashed. The resulting scratch mapping and ch (length nAccels) are
+// exactly what FingerprintCoresInto would have produced from a full
+// decode — provided dirty[] marks every core whose final queue
+// (membership or order) may differ from parent's, the contract the
+// MAGMA operators maintain and the quick-check property test pins.
+//
+// parent must be the decoded mapping of the genome child was derived
+// from, with parentCH its per-core hashes; parent and scratch must not
+// alias. Steady-state allocation-free.
+func FingerprintUpdate(child Genome, nAccels int, dirty []bool, parent *sim.Mapping, parentCH CoreHashes, scratch *sim.Mapping, ch CoreHashes) Fingerprint {
+	sizeQueues(scratch, nAccels)
+	for a := 0; a < nAccels; a++ {
+		if dirty[a] {
+			scratch.Queues[a] = scratch.Queues[a][:0]
+		} else {
+			scratch.Queues[a] = append(scratch.Queues[a][:0], parent.Queues[a]...)
+			ch[a] = parentCH[a]
+		}
+	}
+	for j, a := range child.Accel {
+		if dirty[a] {
+			scratch.Queues[a] = append(scratch.Queues[a], j)
+		}
+	}
+	for a := 0; a < nAccels; a++ {
+		if dirty[a] {
+			sortQueue(scratch.Queues[a], child.Prio)
+			ch[a] = hashQueue(scratch.Queues[a])
+		}
+	}
+	return CombineCoreHashes(ch)
 }

@@ -1,0 +1,157 @@
+package encoding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"magma/internal/sim"
+)
+
+// applyRandomOps applies a random sequence of MAGMA-shaped edits to g,
+// marking dirty cores exactly the way the operators do: an accel-gene
+// move dirties the job's old and new core, a priority change dirties
+// the job's current core. Returns the number of edits applied.
+func applyRandomOps(g Genome, nAccels int, dirty []bool, r *rand.Rand) int {
+	nOps := r.Intn(8) // 0 = elite case: untouched, all-clean mask
+	for op := 0; op < nOps; op++ {
+		switch r.Intn(3) {
+		case 0: // accel mutation / transplant
+			j := r.Intn(len(g.Accel))
+			a := r.Intn(nAccels)
+			if a != g.Accel[j] {
+				dirty[g.Accel[j]] = true
+				dirty[a] = true
+				g.Accel[j] = a
+			}
+		case 1: // priority mutation
+			j := r.Intn(len(g.Prio))
+			p := r.Float64()
+			if p != g.Prio[j] {
+				dirty[g.Accel[j]] = true
+				g.Prio[j] = p
+			}
+		default: // tail swap against a random donor (crossover-gen shape)
+			pivot := r.Intn(len(g.Accel) + 1)
+			for j := pivot; j < len(g.Accel); j++ {
+				if r.Intn(2) == 0 {
+					continue
+				}
+				a := r.Intn(nAccels)
+				if a != g.Accel[j] {
+					dirty[g.Accel[j]] = true
+					dirty[a] = true
+					g.Accel[j] = a
+				}
+			}
+		}
+	}
+	return nOps
+}
+
+// Property (the incremental-fingerprint contract): after an arbitrary
+// random sequence of operators, FingerprintUpdate against the parent's
+// cached state equals the full FingerprintCoresInto of the resulting
+// genome — fingerprint, per-core hashes, and decoded queues alike.
+// Sizes 4–128 jobs × 2–16 cores.
+func TestQuickFingerprintUpdateMatchesFullDecode(t *testing.T) {
+	sawClean, sawDirty := false, false
+	f := func(seed int64, nJobsRaw, nAccelsRaw uint8) bool {
+		nJobs := 4 + int(nJobsRaw)%125
+		nAccels := 2 + int(nAccelsRaw)%15
+		r := rand.New(rand.NewSource(seed))
+
+		parent := Random(nJobs, nAccels, r)
+		var parentMap sim.Mapping
+		parentCH := make(CoreHashes, nAccels)
+		parent.FingerprintCoresInto(nAccels, &parentMap, parentCH)
+
+		child := parent.Clone()
+		dirty := make([]bool, nAccels)
+		if applyRandomOps(child, nAccels, dirty, r) == 0 {
+			sawClean = true
+		} else {
+			sawDirty = true
+		}
+
+		var incScratch, fullScratch sim.Mapping
+		incCH := make(CoreHashes, nAccels)
+		fullCH := make(CoreHashes, nAccels)
+		got := FingerprintUpdate(child, nAccels, dirty, &parentMap, parentCH, &incScratch, incCH)
+		want := child.FingerprintCoresInto(nAccels, &fullScratch, fullCH)
+
+		if got != want {
+			t.Logf("fingerprint mismatch: %v vs %v (dirty %v)", got, want, dirty)
+			return false
+		}
+		for a := 0; a < nAccels; a++ {
+			if incCH[a] != fullCH[a] {
+				t.Logf("core %d hash mismatch (dirty=%v)", a, dirty[a])
+				return false
+			}
+			if len(incScratch.Queues[a]) != len(fullScratch.Queues[a]) {
+				return false
+			}
+			for k := range fullScratch.Queues[a] {
+				if incScratch.Queues[a][k] != fullScratch.Queues[a][k] {
+					t.Logf("core %d queue mismatch: %v vs %v", a, incScratch.Queues[a], fullScratch.Queues[a])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+	if !sawClean || !sawDirty {
+		t.Fatalf("property vacuous: sawClean=%v sawDirty=%v", sawClean, sawDirty)
+	}
+}
+
+// A conservative mask (extra dirty cores) must never change the result,
+// only cost re-hashing — the freedom the operators rely on.
+func TestFingerprintUpdateConservativeMask(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	const nJobs, nAccels = 40, 6
+	parent := Random(nJobs, nAccels, r)
+	var parentMap sim.Mapping
+	parentCH := make(CoreHashes, nAccels)
+	parent.FingerprintCoresInto(nAccels, &parentMap, parentCH)
+
+	allDirty := make([]bool, nAccels)
+	for a := range allDirty {
+		allDirty[a] = true
+	}
+	var scratch, ref sim.Mapping
+	ch := make(CoreHashes, nAccels)
+	refCH := make(CoreHashes, nAccels)
+	got := FingerprintUpdate(parent, nAccels, allDirty, &parentMap, parentCH, &scratch, ch)
+	if want := parent.FingerprintCoresInto(nAccels, &ref, refCH); got != want {
+		t.Fatalf("all-dirty update of an unchanged genome diverged: %v vs %v", got, want)
+	}
+}
+
+// The incremental path must stay allocation-free once scratch is warm —
+// it exists to make elite re-asks and small mutations nearly free.
+func TestFingerprintUpdateZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	const nJobs, nAccels = 100, 8
+	parent := Random(nJobs, nAccels, r)
+	var parentMap, scratch sim.Mapping
+	parentCH := make(CoreHashes, nAccels)
+	ch := make(CoreHashes, nAccels)
+	parent.FingerprintCoresInto(nAccels, &parentMap, parentCH)
+	child := parent.Clone()
+	dirty := make([]bool, nAccels)
+	child.Accel[3] = (child.Accel[3] + 1) % nAccels
+	dirty[parent.Accel[3]] = true
+	dirty[child.Accel[3]] = true
+	FingerprintUpdate(child, nAccels, dirty, &parentMap, parentCH, &scratch, ch) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		FingerprintUpdate(child, nAccels, dirty, &parentMap, parentCH, &scratch, ch)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state FingerprintUpdate allocates %.1f times, want 0", allocs)
+	}
+}

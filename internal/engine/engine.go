@@ -76,6 +76,12 @@ type Stats struct {
 	// versus free-list checkouts.
 	PoolsBuilt  uint64
 	PoolsReused uint64
+	// CachesBuilt / CachesReused count fitness-cache scratch
+	// constructions versus free-list checkouts. A reused cache keeps its
+	// grown batch scratch — decoded mappings and per-core lane hashes —
+	// warm across runs (it is Rebound to a fresh run id each checkout).
+	CachesBuilt  uint64
+	CachesReused uint64
 	// Cache aggregates the per-run fitness-cache counters of every
 	// completed run; Cache.CrossHits is the shared-across-runs payoff
 	// (hits on entries a different run inserted).
@@ -110,8 +116,9 @@ type problemState struct {
 	err   error
 	store *m3e.CacheStore
 
-	mu    sync.Mutex
-	pools map[int][]*m3e.Pool // worker count -> free pools
+	mu     sync.Mutex
+	pools  map[int][]*m3e.Pool // worker count -> free pools
+	caches []*m3e.FitnessCache // free fitness-cache scratch (store-bound)
 }
 
 // Engine is the concurrency-safe, long-lived solver core. The zero
@@ -307,6 +314,39 @@ func (h *ProblemHandle) putPool(p *m3e.Pool) {
 	}
 }
 
+// getCache checks fitness-cache scratch out of the free-list, or builds
+// a cache bound to the problem's shared store. Either way the cache is
+// Rebound: fresh run id and counters, warm decoded-mapping and
+// per-core-hash buffers when reused.
+func (h *ProblemHandle) getCache() *m3e.FitnessCache {
+	st := h.st
+	st.mu.Lock()
+	if l := st.caches; len(l) > 0 {
+		c := l[len(l)-1]
+		st.caches = l[:len(l)-1]
+		st.mu.Unlock()
+		h.eng.mu.Lock()
+		h.eng.stats.CachesReused++
+		h.eng.mu.Unlock()
+		return c
+	}
+	st.mu.Unlock()
+	h.eng.mu.Lock()
+	h.eng.stats.CachesBuilt++
+	h.eng.mu.Unlock()
+	return m3e.NewFitnessCacheWith(st.prob, st.store)
+}
+
+// putCache returns cache scratch to the free-list (dropped past the cap).
+func (h *ProblemHandle) putCache(c *m3e.FitnessCache) {
+	st := h.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.caches) < maxPooledPerWidth {
+		st.caches = append(st.caches, c)
+	}
+}
+
 // Run executes one search over the cached problem, wiring in a pooled
 // evaluator set and — when o.Cache is set — the problem's shared
 // cross-run fitness store. Results are bit-identical to an uncached,
@@ -327,7 +367,12 @@ func (h *ProblemHandle) RunCtx(ctx context.Context, opt m3e.Optimizer, o m3e.Opt
 	o.Pool = pool
 	o.Context = ctx
 	if o.Cache {
-		o.Store = h.st.store
+		// Lease rebindable cache scratch on top of the shared store: the
+		// run gets warm decoded-mapping and per-core-hash buffers, the
+		// store keeps flowing fitness entries across runs as before.
+		fc := h.getCache()
+		defer h.putCache(fc)
+		o.Scratch = fc
 	}
 	res, err := m3e.Run(h.st.prob, opt, o, seed)
 	if err == nil {

@@ -231,3 +231,40 @@ func TestEngineConcurrentAcquire(t *testing.T) {
 		t.Errorf("TablesBuilt = %d, want 1 (concurrent acquisitions share one build)", got)
 	}
 }
+
+// TestEngineCacheScratchReuse: sequential cached runs on one problem
+// lease fitness-cache scratch from the free-list instead of rebuilding
+// it, with results bit-identical to a plain cached run (the lease is
+// Rebound per run, so counters and provenance never leak across runs).
+func TestEngineCacheScratchReuse(t *testing.T) {
+	e := engine.New(engine.Config{})
+	g, pf := engGroup(t, 5), platform.S2()
+	h, err := e.Problem(g, pf, m3e.Throughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := m3e.Options{Budget: 150, Workers: 1, Cache: true}
+	first, err := h.Run(optmagma.New(optmagma.Config{}), opts, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := h.Run(optmagma.New(optmagma.Config{}), opts, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CachesBuilt != 1 || st.CachesReused != 1 {
+		t.Errorf("caches built/reused = %d/%d, want 1/1", st.CachesBuilt, st.CachesReused)
+	}
+	if first.BestFitness != second.BestFitness || !reflect.DeepEqual(first.Curve, second.Curve) {
+		t.Error("reused cache scratch changed results")
+	}
+	// The second run answers from the shared store (cross-run hits), but
+	// its run-local counters start fresh: hits cannot exceed samples.
+	if second.Cache.CrossHits == 0 {
+		t.Error("second run should hit entries the first run inserted")
+	}
+	if second.Cache.Hits+second.Cache.Deduped+second.Cache.Misses+second.Cache.Invalid != uint64(second.Samples) {
+		t.Errorf("rebound cache counters %+v don't add up to %d samples", second.Cache, second.Samples)
+	}
+}

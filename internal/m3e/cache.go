@@ -3,6 +3,7 @@ package m3e
 import (
 	"math"
 	"sync"
+	"time"
 
 	"magma/internal/encoding"
 	"magma/internal/sim"
@@ -31,6 +32,15 @@ type CacheStats struct {
 	// Invalid are genomes that failed validation (scored -Inf without
 	// being decoded or dispatched).
 	Invalid uint64
+	// FullFP / IncrementalFP / CleanFP break the fingerprint pass down
+	// by how each decodable genome's schedule fingerprint was computed:
+	// a full decode+hash, an incremental dirty-core rebuild against its
+	// parent's cached per-core hashes, or a verbatim copy of the
+	// parent's fingerprint (a clean elite re-ask). Incremental and clean
+	// require an optimizer implementing VariationTracker.
+	FullFP        uint64
+	IncrementalFP uint64
+	CleanFP       uint64
 }
 
 // HitRate is the fraction of decodable evaluations avoided:
@@ -54,6 +64,16 @@ func (s CacheStats) CrossHitRate() float64 {
 	return float64(s.CrossHits) / float64(total)
 }
 
+// FastFPRate is the fraction of fingerprints that skipped the full
+// decode+hash: (IncrementalFP+CleanFP) / (FullFP+IncrementalFP+CleanFP).
+func (s CacheStats) FastFPRate() float64 {
+	total := s.FullFP + s.IncrementalFP + s.CleanFP
+	if total == 0 {
+		return 0
+	}
+	return float64(s.IncrementalFP+s.CleanFP) / float64(total)
+}
+
 // Add accumulates another run's counters (used by callers aggregating
 // multiple searches, e.g. OptimizeStream).
 func (s *CacheStats) Add(o CacheStats) {
@@ -62,6 +82,9 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.Deduped += o.Deduped
 	s.Misses += o.Misses
 	s.Invalid += o.Invalid
+	s.FullFP += o.FullFP
+	s.IncrementalFP += o.IncrementalFP
+	s.CleanFP += o.CleanFP
 }
 
 // storeEntry is one memoized fitness plus the id of the run that
@@ -164,6 +187,13 @@ func (s *CacheStore) insertLocked(fp encoding.Fingerprint, v float64, run uint64
 // float64 equals a recomputed one, and fitness is still written at its
 // batch index.
 //
+// When the optimizer implements VariationTracker, the fingerprint pass
+// itself goes incremental: the cache double-buffers the previous
+// batch's decoded mappings and per-core lane hashes, so an elite
+// re-ask copies its parent's fingerprint outright and a lightly-mutated
+// child re-hashes only the cores its operators dirtied
+// (encoding.FingerprintUpdate) instead of paying a full decode.
+//
 // A FitnessCache belongs to one run at a time (its batch scratch is
 // reused across Evaluate calls); like an Evaluator it must not be
 // shared between goroutines. Its backing CacheStore, however, *is*
@@ -171,26 +201,46 @@ func (s *CacheStore) insertLocked(fp encoding.Fingerprint, v float64, run uint64
 // store with NewFitnessCacheWith and entries flow between them. The
 // cache is bound to one Problem — fitness depends on the group,
 // platform and objective, so never reuse a cache (or share a store)
-// across distinct problems.
+// across distinct problems. To carry a cache's grown scratch across
+// sequential runs of the same problem, Rebind it between runs (the
+// engine's scratch free-list does exactly this).
 type FitnessCache struct {
 	p     *Problem
 	store *CacheStore
 	run   uint64 // this run's id within the store
 
-	stats CacheStats
+	stats   CacheStats
+	tracker VariationTracker // optional; set by Run per run
+	phases  *PhaseTimings    // optional; set by Run per run
 
 	// Per-batch scratch, grown once and reused. maps[i] holds the
 	// decoded schedule of batch[i] — the fingerprint pass is the only
 	// decode per genome; representatives are simulated straight from it.
-	maps    []sim.Mapping
-	fps     []encoding.Fingerprint
-	ok      []bool // batch index -> passed validation in phase 1
-	class   []int  // batch index -> representative slot, or -1 if resolved
-	charge  []bool // batch index -> consumes effective budget (miss/invalid)
-	reps    []int  // representative slot -> batch index
+	// The prev* buffers double-buffer the last evaluated batch so the
+	// incremental fingerprint path can source clean queues and per-core
+	// hashes from each genome's parent; prevLen is the length of that
+	// batch (0 = no usable previous generation).
+	maps, prevMaps   []sim.Mapping
+	fps, prevFps     []encoding.Fingerprint
+	ok, prevOk       []bool
+	coreH, prevCoreH []encoding.CoreHashes
+	prevLen          int
+
+	mode    []uint8 // batch index -> fingerprint path (fp* constants)
+	class   []int   // batch index -> representative slot, or -1 if resolved
+	charge  []bool  // batch index -> consumes effective budget (miss/invalid)
+	reps    []int   // representative slot -> batch index
 	repFit  []float64
 	inBatch map[encoding.Fingerprint]int // fingerprint -> representative slot
 }
+
+// Fingerprint-path markers for mode[].
+const (
+	fpInvalid = iota
+	fpFull
+	fpIncremental
+	fpClean
+)
 
 // NewFitnessCache builds a cache for the problem backed by a private
 // store. capacity <= 0 means DefaultCacheSize.
@@ -211,8 +261,30 @@ func NewFitnessCacheWith(p *Problem, store *CacheStore) *FitnessCache {
 	}
 }
 
+// Rebind prepares a cache for a fresh run on the same problem and
+// store: it allocates a new run id and clears the counters, provenance
+// buffers and per-run hooks, while keeping every grown scratch buffer
+// (decoded mappings, per-core hashes). A long-lived engine Rebinds
+// free-listed caches instead of rebuilding them, so the scratch stays
+// warm across requests.
+func (c *FitnessCache) Rebind() {
+	c.run = c.store.beginRun()
+	c.stats = CacheStats{}
+	c.tracker = nil
+	c.phases = nil
+	c.prevLen = 0
+}
+
 // Stats returns the counters accumulated so far.
 func (c *FitnessCache) Stats() CacheStats { return c.stats }
+
+// SetTracker wires an optimizer's variation provenance into the
+// fingerprint pass, enabling the clean/incremental fast paths. Run does
+// this automatically for optimizers implementing VariationTracker;
+// callers driving Evaluate directly (tests, benchmarks) may set it
+// themselves. The tracker must describe the exact batches this cache
+// evaluates.
+func (c *FitnessCache) SetTracker(vt VariationTracker) { c.tracker = vt }
 
 // ChargedAt reports whether batch index i of the most recent Evaluate
 // call consumed effective budget: true for schedules that reached the
@@ -228,16 +300,31 @@ func (c *FitnessCache) Len() int { return c.store.Len() }
 // but dispatches only one representative per schedule-equivalence class
 // and none for schedules already cached. Three phases:
 //
-//  1. parallel: validate + decode + fingerprint every genome (index-
-//     addressed, so deterministic at any worker count);
+//  1. parallel: validate + fingerprint every genome (index-addressed,
+//     so deterministic at any worker count). With tracker provenance a
+//     genome's fingerprint comes from its parent's cached state (clean
+//     copy or dirty-core incremental rebuild); otherwise from a full
+//     decode+hash. Either way maps[i] ends up holding the decoded
+//     schedule;
 //  2. serial: group by fingerprint — cache hit, in-batch duplicate, or
 //     new representative (one store read-lock spans the whole scan);
 //  3. parallel: simulate the representatives from their already-decoded
 //     mappings, then scatter fitness to every class member and insert
 //     the new results into the store (one write-lock for the batch).
 func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float64) {
+	tFP := time.Now()
+	// Swap in the previous batch's buffers as parents before growing
+	// this batch's side.
+	c.maps, c.prevMaps = c.prevMaps, c.maps
+	c.fps, c.prevFps = c.prevFps, c.fps
+	c.ok, c.prevOk = c.prevOk, c.ok
+	c.coreH, c.prevCoreH = c.prevCoreH, c.coreH
 	c.grow(len(batch))
-	pool.fingerprint(c.p, batch, c.maps, c.fps, c.ok)
+	var prov []VariationInfo
+	if c.tracker != nil && c.prevLen > 0 {
+		prov = c.tracker.Variations()
+	}
+	c.fingerprintBatch(pool, batch, prov)
 
 	c.reps = c.reps[:0]
 	clear(c.inBatch)
@@ -249,6 +336,14 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 			c.stats.Invalid++
 			c.charge[i] = true // constraint violations always consume budget
 			continue
+		}
+		switch c.mode[i] {
+		case fpFull:
+			c.stats.FullFP++
+		case fpIncremental:
+			c.stats.IncrementalFP++
+		case fpClean:
+			c.stats.CleanFP++
 		}
 		fp := c.fps[i]
 		if e, ok := c.store.entries[fp]; ok {
@@ -274,7 +369,12 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 		c.charge[i] = true
 	}
 	c.store.mu.RUnlock()
+	c.prevLen = len(batch)
+	if c.phases != nil {
+		c.phases.FingerprintNs += time.Since(tFP).Nanoseconds()
+	}
 
+	tSim := time.Now()
 	pool.evaluateMapped(c.maps, c.reps, c.repFit[:len(c.reps)])
 
 	for i := range batch {
@@ -289,16 +389,95 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 		}
 		c.store.mu.Unlock()
 	}
+	if c.phases != nil {
+		c.phases.SimulateNs += time.Since(tSim).Nanoseconds()
+	}
 }
 
-// grow sizes the per-batch scratch for n genomes.
+// fingerprintBatch is phase 1: validate + decode + fingerprint every
+// genome across the pool, routing each through the cheapest sound path.
+// Every output (maps, coreH, fps, ok, mode) is written at its batch
+// index by exactly one worker, so the result is independent of worker
+// scheduling; parents (prev* slots) are only read, possibly by several
+// workers sharing an elite.
+func (c *FitnessCache) fingerprintBatch(pool *Pool, batch []encoding.Genome, prov []VariationInfo) {
+	nJobs, nAccels := c.p.NumJobs(), c.p.NumAccels()
+	pool.each(len(batch), func(_ *Evaluator, i int) {
+		if err := batch[i].Validate(nJobs, nAccels); err != nil {
+			c.ok[i] = false
+			c.mode[i] = fpInvalid
+			return
+		}
+		c.ok[i] = true
+		if i < len(prov) {
+			if p := prov[i].Parent; p >= 0 && p < c.prevLen && c.prevOk[p] {
+				if prov[i].Dirty == nil {
+					// Bit-identical to its parent (elite re-ask): copy the
+					// parent's decoded state outright.
+					copyMapping(&c.maps[i], &c.prevMaps[p])
+					copy(c.coreH[i], c.prevCoreH[p])
+					c.fps[i] = c.prevFps[p]
+					c.mode[i] = fpClean
+					return
+				}
+				// Incremental pays off exactly when some core is clean
+				// (its queue is copied instead of re-sorted, its hash
+				// reused). An all-dirty child — crossover-gen routinely
+				// produces one on few-core platforms — has nothing to
+				// reuse, so the plain decode is cheaper.
+				clean := 0
+				for _, d := range prov[i].Dirty {
+					if !d {
+						clean++
+					}
+				}
+				if clean > 0 {
+					c.fps[i] = encoding.FingerprintUpdate(batch[i], nAccels, prov[i].Dirty,
+						&c.prevMaps[p], c.prevCoreH[p], &c.maps[i], c.coreH[i])
+					c.mode[i] = fpIncremental
+					return
+				}
+			}
+		}
+		c.fps[i] = batch[i].FingerprintCoresInto(nAccels, &c.maps[i], c.coreH[i])
+		c.mode[i] = fpFull
+	})
+}
+
+// copyMapping copies src's queues into dst, reusing dst's grown
+// per-core buffers.
+func copyMapping(dst, src *sim.Mapping) {
+	if cap(dst.Queues) >= len(src.Queues) {
+		dst.Queues = dst.Queues[:len(src.Queues)]
+	} else {
+		q := make([][]int, len(src.Queues))
+		copy(q, dst.Queues)
+		dst.Queues = q
+	}
+	for a := range src.Queues {
+		dst.Queues[a] = append(dst.Queues[a][:0], src.Queues[a]...)
+	}
+}
+
+// grow sizes the current-batch scratch for n genomes (the prev* side is
+// grown on its own turn — buffers swap roles every Evaluate).
 func (c *FitnessCache) grow(n int) {
 	if cap(c.maps) < n {
 		maps := make([]sim.Mapping, n)
 		copy(maps, c.maps) // keep already-grown queue buffers
 		c.maps = maps
-		c.fps = make([]encoding.Fingerprint, n)
-		c.ok = make([]bool, n)
+		fps := make([]encoding.Fingerprint, n)
+		copy(fps, c.fps)
+		c.fps = fps
+		ok := make([]bool, n)
+		copy(ok, c.ok)
+		c.ok = ok
+		coreH := make([]encoding.CoreHashes, n)
+		copy(coreH, c.coreH)
+		c.coreH = coreH
+	}
+	if cap(c.mode) < n {
+		c.mode = make([]uint8, n)
 		c.class = make([]int, n)
 		c.charge = make([]bool, n)
 		c.repFit = make([]float64, n)
@@ -306,6 +485,15 @@ func (c *FitnessCache) grow(n int) {
 	c.maps = c.maps[:n]
 	c.fps = c.fps[:n]
 	c.ok = c.ok[:n]
+	c.coreH = c.coreH[:n]
+	nAccels := c.p.NumAccels()
+	for i := range c.coreH {
+		if cap(c.coreH[i]) < nAccels {
+			c.coreH[i] = make(encoding.CoreHashes, nAccels)
+		}
+		c.coreH[i] = c.coreH[i][:nAccels]
+	}
+	c.mode = c.mode[:n]
 	c.class = c.class[:n]
 	c.charge = c.charge[:n]
 	c.repFit = c.repFit[:n]

@@ -8,6 +8,7 @@ import (
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/opt/cmaes"
 	"magma/internal/opt/ga"
 	optmagma "magma/internal/opt/magma"
 	"magma/internal/opt/random"
@@ -26,6 +27,7 @@ func TestRunCacheDeterminism(t *testing.T) {
 	}{
 		{"MAGMA", func() m3e.Optimizer { return optmagma.New(optmagma.Config{}) }},
 		{"stdGA", func() m3e.Optimizer { return ga.New(ga.Config{}) }},
+		{"CMA", func() m3e.Optimizer { return cmaes.New(cmaes.Config{}) }},
 		{"Random", func() m3e.Optimizer { return random.New(32) }},
 	}
 	for _, m := range mappers {
@@ -59,6 +61,12 @@ func TestRunCacheDeterminism(t *testing.T) {
 				}
 				if m.name == "MAGMA" && st.Hits == 0 {
 					t.Error("MAGMA re-Asks its elites every generation; expected cache hits > 0")
+				}
+				if m.name == "MAGMA" && st.CleanFP+st.IncrementalFP == 0 {
+					t.Error("MAGMA provides variation provenance; expected clean/incremental fingerprints > 0")
+				}
+				if m.name == "CMA" && st.CleanFP+st.IncrementalFP != 0 {
+					t.Error("CMA has no provenance; expected only full fingerprints")
 				}
 			}
 		})

@@ -2,8 +2,8 @@ package m3e
 
 import (
 	"errors"
+	"magma/internal/rng"
 	"math"
-	"math/rand"
 	"testing"
 
 	"magma/internal/encoding"
@@ -88,6 +88,6 @@ func TestRunInitFailurePropagates(t *testing.T) {
 
 type failingInit struct{ stubOpt }
 
-func (f *failingInit) Init(*Problem, *rand.Rand) error {
+func (f *failingInit) Init(*Problem, *rng.Stream) error {
 	return errors.New("init failed")
 }

@@ -13,14 +13,15 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"magma/internal/analyzer"
 	"magma/internal/encoding"
 	"magma/internal/platform"
+	"magma/internal/rng"
 	"magma/internal/sim"
 	"magma/internal/workload"
 )
@@ -182,8 +183,11 @@ type Optimizer interface {
 	Name() string
 	// Init prepares the optimizer for a problem. It may inspect the
 	// analysis table (the RL methods build their observation features
-	// from it) but must not evaluate mappings.
-	Init(p *Problem, rng *rand.Rand) error
+	// from it) but must not evaluate mappings. The stream is the run's
+	// root RNG (layout v2): sequential optimizers draw from it directly,
+	// splittable ones derive per-(generation, slot) sub-streams so their
+	// variation step parallelizes without losing determinism.
+	Init(p *Problem, rng *rng.Stream) error
 	// Ask returns the next batch of candidates to evaluate.
 	Ask() []encoding.Genome
 	// Tell reports the fitness of the candidates returned by Ask.
@@ -198,6 +202,52 @@ type Seeder interface {
 	Seed(genomes []encoding.Genome)
 }
 
+// Breeder fans an index-addressed variation task across workers: it
+// runs f(i) for every i in [0, n), in unspecified order, possibly
+// concurrently, and returns when all calls complete. f must touch only
+// state owned by index i (plus read-only shared state) — the same
+// discipline the evaluation pool enforces. Pool implements Breeder.
+type Breeder interface {
+	Breed(n int, f func(i int))
+}
+
+// PoolBreeder is implemented by optimizers whose Tell fans per-child
+// variation out across workers. Run hands such optimizers the batch's
+// evaluation pool right after Init, so breeding shares the worker set
+// evaluation already owns. Optimizers must stay bit-identical with and
+// without a breeder at any worker count (per-child RNG streams make
+// this free); a nil-breeder optimizer simply breeds serially.
+type PoolBreeder interface {
+	SetBreeder(b Breeder)
+}
+
+// VariationInfo describes how one genome of the current Ask batch was
+// derived from the previous Ask batch — the provenance the fitness
+// cache's incremental fingerprint path consumes.
+type VariationInfo struct {
+	// Parent is the index in the previous Ask batch of the genome this
+	// one was bred from (for MAGMA: the elite it was copied from before
+	// the operators ran). Negative or out-of-range means unknown, which
+	// forces a full fingerprint.
+	Parent int
+	// Dirty is the per-core dirtied mask: Dirty[a] is true when the
+	// variation operators may have changed core a's decoded queue
+	// (membership or order) relative to the parent. A nil Dirty means
+	// the genome is bit-identical to its parent (an elite re-ask). The
+	// mask may be conservative (extra true entries cost a re-hash, never
+	// correctness) but must never miss a changed core.
+	Dirty []bool
+}
+
+// VariationTracker is implemented by optimizers that remember, for
+// every genome of the current Ask batch, which cores their operators
+// dirtied. Variations is re-read after each Ask; it returns nil when
+// provenance is unknown (the first generation). Entries beyond the
+// evaluated prefix of the previous batch are ignored.
+type VariationTracker interface {
+	Variations() []VariationInfo
+}
+
 // Result summarizes one search run.
 type Result struct {
 	Method      string
@@ -208,12 +258,41 @@ type Result struct {
 	Curve       []float64   // best-so-far fitness after each consumed sample
 	Explored    [][]float64 // sampled vectors (only when RecordSamples)
 	Cache       CacheStats  // hit/miss counters (zero unless Options.Cache)
+	// Phases breaks the run's wall-clock down per generation phase
+	// (ask / fingerprint / simulate / tell), so callers can see where a
+	// generation's time goes — e.g. whether parallel breeding actually
+	// shrank the tell phase. Always recorded; the cost is a handful of
+	// clock reads per generation.
+	Phases PhaseTimings
 	// Aborted reports that the run's context was cancelled (deadline or
 	// explicit cancel) before the budget was exhausted. The Result is
 	// still valid: Best/Curve hold the best-so-far state at the last
 	// completed generation — exactly the prefix a full run would have
 	// produced — so callers can use the partial schedule directly.
 	Aborted bool
+}
+
+// PhaseTimings accumulates wall-clock per runner phase across a run.
+// Ask is candidate generation, Fingerprint the cache's parallel
+// validate+decode+hash pass plus its serial dedup scan (zero when the
+// cache is off), Simulate the worker-pool evaluation of the batch (or
+// of the deduped representatives), and Tell selection plus breeding.
+type PhaseTimings struct {
+	AskNs         int64 `json:"ask_ns"`
+	FingerprintNs int64 `json:"fingerprint_ns"`
+	SimulateNs    int64 `json:"simulate_ns"`
+	TellNs        int64 `json:"tell_ns"`
+	// Generations counts completed Ask/Tell rounds.
+	Generations int `json:"generations"`
+}
+
+// Add accumulates another run's phase timings.
+func (p *PhaseTimings) Add(o PhaseTimings) {
+	p.AskNs += o.AskNs
+	p.FingerprintNs += o.FingerprintNs
+	p.SimulateNs += o.SimulateNs
+	p.TellNs += o.TellNs
+	p.Generations += o.Generations
 }
 
 // Progress is one per-generation observer snapshot (Options.Observer).
@@ -266,6 +345,13 @@ type Options struct {
 	// instead of re-growing simulator buffers per request. A Pool serves
 	// one run at a time.
 	Pool *Pool
+	// Scratch optionally supplies a leased FitnessCache whose grown
+	// batch scratch — decoded mappings, per-core lane hashes — is reused
+	// across runs (the engine free-lists them like pools). The cache
+	// must be bound to this problem and its shared store; Run rebinds it
+	// (fresh run id, cleared counters and provenance) before use.
+	// Implies the cache path; takes precedence over Store/Cache.
+	Scratch *FitnessCache
 	// Context, when non-nil, makes the run cancellable: the loop checks
 	// it once per generation (between Tell and the next Ask), so a
 	// deadline or cancel aborts within one generation's evaluation cost
@@ -321,6 +407,15 @@ func NewPool(p *Problem, workers int) *Pool {
 // Workers returns the pool's worker count.
 func (pl *Pool) Workers() int { return len(pl.evs) }
 
+// Breed implements Breeder: it runs f(i) for every i in [0, n) across
+// the pool's workers (order unspecified, one call per index). The
+// evaluators themselves are untouched — the pool only lends its worker
+// fan-out, so optimizers can parallelize variation on the same worker
+// set that evaluates their batches.
+func (pl *Pool) Breed(n int, f func(i int)) {
+	pl.each(n, func(_ *Evaluator, i int) { f(i) })
+}
+
 // Evaluate scores batch[i] into fit[i] for every i. Workers pull batch
 // indices from a shared counter, so load balances even when evaluation
 // cost varies across genomes.
@@ -331,23 +426,6 @@ func (pl *Pool) Evaluate(batch []encoding.Genome, fit []float64) {
 			f = math.Inf(-1)
 		}
 		fit[i] = f
-	})
-}
-
-// fingerprint runs the fitness cache's phase 1 across the pool:
-// validate, decode into maps[i], and fingerprint every genome. ok[i]
-// records whether batch[i] validated (an invalid genome's mapping slot
-// is left untouched). Every output is written at its batch index, so
-// the result is independent of worker scheduling.
-func (pl *Pool) fingerprint(p *Problem, batch []encoding.Genome, maps []sim.Mapping, fps []encoding.Fingerprint, ok []bool) {
-	nJobs, nAccels := p.NumJobs(), p.NumAccels()
-	pl.each(len(batch), func(_ *Evaluator, i int) {
-		if err := batch[i].Validate(nJobs, nAccels); err != nil {
-			ok[i] = false
-			return
-		}
-		fps[i] = batch[i].FingerprintInto(nAccels, &maps[i])
-		ok[i] = true
 	})
 }
 
@@ -422,18 +500,24 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rng := rand.New(rand.NewSource(seed))
-	if err := opt.Init(p, rng); err != nil {
+	if err := opt.Init(p, rng.New(seed)); err != nil {
 		return Result{}, fmt.Errorf("m3e: init %s: %w", opt.Name(), err)
 	}
 	pool := o.Pool
 	if pool == nil {
 		pool = NewPool(p, o.Workers)
 	}
+	if pb, ok := opt.(PoolBreeder); ok {
+		pb.SetBreeder(pool)
+	}
 	var cache *FitnessCache
-	if o.Store != nil {
+	switch {
+	case o.Scratch != nil:
+		cache = o.Scratch
+		cache.Rebind()
+	case o.Store != nil:
 		cache = NewFitnessCacheWith(p, o.Store)
-	} else if o.Cache {
+	case o.Cache:
 		cache = NewFitnessCache(p, o.CacheSize)
 	}
 	if o.EffectiveBudget && cache == nil {
@@ -441,6 +525,20 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	}
 	res := Result{Method: opt.Name(), BestFitness: math.Inf(-1)}
 	res.Curve = make([]float64, 0, o.Budget)
+	if cache != nil {
+		if vt, ok := opt.(VariationTracker); ok {
+			cache.SetTracker(vt)
+		}
+		cache.phases = &res.Phases
+		// Drop the per-run hooks on every exit path (including error
+		// returns): a leased cache may sit on the engine's free-list
+		// indefinitely, and these pointers would otherwise pin the
+		// finished run's optimizer and Result (curve, samples) in memory.
+		defer func() {
+			cache.SetTracker(nil)
+			cache.phases = nil
+		}()
+	}
 	var fit []float64 // reused across batches
 	generation := 0
 	for res.Samples < o.Budget {
@@ -455,7 +553,9 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 		if o.EffectiveBudget && res.Asked >= EffectiveBudgetStretchCap*o.Budget {
 			break
 		}
+		tAsk := time.Now()
 		batch := opt.Ask()
+		res.Phases.AskNs += time.Since(tAsk).Nanoseconds()
 		if len(batch) == 0 {
 			return Result{}, fmt.Errorf("m3e: %s returned an empty batch", opt.Name())
 		}
@@ -470,9 +570,11 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 		}
 		fit = fit[:len(batch)]
 		if cache != nil {
-			cache.Evaluate(pool, batch, fit)
+			cache.Evaluate(pool, batch, fit) // splits fingerprint/simulate into res.Phases itself
 		} else {
+			tSim := time.Now()
 			pool.Evaluate(batch, fit)
+			res.Phases.SimulateNs += time.Since(tSim).Nanoseconds()
 		}
 		for i, g := range batch {
 			res.Asked++
@@ -494,8 +596,11 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 				res.Explored = append(res.Explored, g.ToVector(p.NumAccels()))
 			}
 		}
+		tTell := time.Now()
 		opt.Tell(batch, fit)
+		res.Phases.TellNs += time.Since(tTell).Nanoseconds()
 		generation++
+		res.Phases.Generations = generation
 		if o.Observer != nil {
 			pr := Progress{
 				Generation:  generation,

@@ -1,8 +1,8 @@
 package m3e
 
 import (
+	"magma/internal/rng"
 	"math"
-	"math/rand"
 	"testing"
 
 	"magma/internal/encoding"
@@ -16,14 +16,14 @@ import (
 // runner without depending on the real algorithm packages.
 type stubOpt struct {
 	p     *Problem
-	rng   *rand.Rand
+	rng   *rng.Stream
 	batch int
 	tells int
 	told  int
 }
 
 func (s *stubOpt) Name() string { return "stub" }
-func (s *stubOpt) Init(p *Problem, rng *rand.Rand) error {
+func (s *stubOpt) Init(p *Problem, rng *rng.Stream) error {
 	s.p, s.rng = p, rng
 	if s.batch == 0 {
 		s.batch = 7
@@ -70,7 +70,7 @@ func TestNewProblemRejectsTinyGroups(t *testing.T) {
 
 func TestEvaluateObjectives(t *testing.T) {
 	prob := testProblem(t, models.Mix, 20, platform.S2(), Throughput)
-	r := rand.New(rand.NewSource(4))
+	r := rng.New(4)
 	g := encoding.Random(prob.NumJobs(), prob.NumAccels(), r)
 	res, err := sim.Run(prob.Table, encoding.Decode(g, prob.NumAccels()), sim.Options{})
 	if err != nil {

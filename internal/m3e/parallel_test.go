@@ -7,6 +7,7 @@ import (
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/opt/cmaes"
 	"magma/internal/opt/ga"
 	optmagma "magma/internal/opt/magma"
 	"magma/internal/opt/random"
@@ -40,6 +41,7 @@ func TestRunParallelDeterminism(t *testing.T) {
 	}{
 		{"MAGMA", func() m3e.Optimizer { return optmagma.New(optmagma.Config{}) }},
 		{"stdGA", func() m3e.Optimizer { return ga.New(ga.Config{}) }},
+		{"CMA", func() m3e.Optimizer { return cmaes.New(cmaes.Config{}) }},
 		{"Random", func() m3e.Optimizer { return random.New(32) }},
 	}
 	for _, m := range mappers {

@@ -2,7 +2,7 @@ package m3e
 
 import (
 	"context"
-	"math/rand"
+	"magma/internal/rng"
 	"testing"
 
 	"magma/internal/encoding"
@@ -25,7 +25,7 @@ type repeatOpt struct {
 }
 
 func (r *repeatOpt) Name() string { return "repeat" }
-func (r *repeatOpt) Init(p *Problem, rng *rand.Rand) error {
+func (r *repeatOpt) Init(p *Problem, rng *rng.Stream) error {
 	r.g = encoding.Random(p.NumJobs(), p.NumAccels(), rng)
 	return nil
 }

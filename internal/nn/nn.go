@@ -9,7 +9,6 @@ package nn
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // Activation selects a layer's nonlinearity.
@@ -24,6 +23,14 @@ const (
 	Tanh
 )
 
+// Rand is the randomness nn consumes (weight init, categorical
+// sampling). Both *math/rand.Rand and internal/rng's *Stream satisfy
+// it, so the package stays agnostic to the caller's RNG layout.
+type Rand interface {
+	Float64() float64
+	NormFloat64() float64
+}
+
 // Dense is one fully-connected layer with weights W[out][in] and bias.
 type Dense struct {
 	In, Out int
@@ -36,7 +43,7 @@ type Dense struct {
 }
 
 // NewDense builds a dense layer with He/Xavier-style initialization.
-func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+func NewDense(in, out int, act Activation, rng Rand) *Dense {
 	d := &Dense{In: in, Out: out, Act: act}
 	scale := math.Sqrt(2.0 / float64(in))
 	if act == Tanh || act == Linear {
@@ -64,7 +71,7 @@ type MLP struct {
 // NewMLP builds an MLP with the given layer sizes (len >= 2), hidden
 // activation for all but the last layer, and a Linear output layer.
 // The paper's policy/critic networks are 3 hidden layers of 128 (§VI-B).
-func NewMLP(sizes []int, hidden Activation, rng *rand.Rand) (*MLP, error) {
+func NewMLP(sizes []int, hidden Activation, rng Rand) (*MLP, error) {
 	if len(sizes) < 2 {
 		return nil, fmt.Errorf("nn: MLP needs >= 2 sizes, got %d", len(sizes))
 	}
@@ -249,7 +256,7 @@ func Softmax(logits []float64) []float64 {
 }
 
 // SampleCategorical draws an index from the distribution.
-func SampleCategorical(probs []float64, rng *rand.Rand) int {
+func SampleCategorical(probs []float64, rng Rand) int {
 	u := rng.Float64()
 	var c float64
 	for i, p := range probs {

@@ -8,10 +8,10 @@ package cmaes
 
 import (
 	"math"
-	"math/rand"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/rng"
 	"magma/internal/stats"
 )
 
@@ -27,7 +27,11 @@ type Optimizer struct {
 	cfg     Config
 	n       int // dimension = 2 × group size
 	nAccels int
-	rng     *rand.Rand
+	// root is the run's RNG root; Ask derives one stream per
+	// (ask-round, candidate) cell, so candidate sampling is independent
+	// of evaluation order and could fan out across workers.
+	root rng.Stream
+	asks uint64
 
 	lambda, mu int
 	weights    []float64
@@ -57,10 +61,11 @@ func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg} }
 func (o *Optimizer) Name() string { return "CMA" }
 
 // Init implements m3e.Optimizer.
-func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.n = 2 * p.NumJobs()
 	o.nAccels = p.NumAccels()
-	o.rng = rng
+	o.root = *rng
+	o.asks = 0
 	n := float64(o.n)
 
 	o.lambda = o.cfg.Lambda
@@ -108,15 +113,18 @@ func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
 	return nil
 }
 
-// Ask implements m3e.Optimizer: samples λ candidates x = m + σ·B·(D∘z).
+// Ask implements m3e.Optimizer: samples λ candidates x = m + σ·B·(D∘z),
+// each from its own (ask-round, candidate) RNG stream.
 func (o *Optimizer) Ask() []encoding.Genome {
+	o.asks++
 	o.asked = make([][]float64, o.lambda)
 	o.xs = make([][]float64, o.lambda)
 	out := make([]encoding.Genome, o.lambda)
 	for k := 0; k < o.lambda; k++ {
+		st := o.root.At(o.asks, uint64(k))
 		z := make([]float64, o.n)
 		for i := range z {
-			z[i] = o.rng.NormFloat64()
+			z[i] = st.NormFloat64()
 		}
 		// y = B·(D∘z)
 		y := make([]float64, o.n)

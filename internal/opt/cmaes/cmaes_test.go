@@ -9,6 +9,7 @@ import (
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/rng"
 )
 
 func TestBattery(t *testing.T) {
@@ -18,7 +19,7 @@ func TestBattery(t *testing.T) {
 func TestWeightsNormalized(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{})
-	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+	if err := o.Init(prob, rng.New(1)); err != nil {
 		t.Fatal(err)
 	}
 	if o.mu != o.lambda/2 {
@@ -44,7 +45,7 @@ func TestWeightsNormalized(t *testing.T) {
 func TestAskProducesValidGenomes(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{Lambda: 12})
-	if err := o.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+	if err := o.Init(prob, rng.New(2)); err != nil {
 		t.Fatal(err)
 	}
 	for gen := 0; gen < 5; gen++ {
@@ -66,7 +67,7 @@ func TestAskProducesValidGenomes(t *testing.T) {
 func TestSigmaStaysPositiveAndBounded(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{Lambda: 10})
-	if err := o.Init(prob, rand.New(rand.NewSource(3))); err != nil {
+	if err := o.Init(prob, rng.New(3)); err != nil {
 		t.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(4))
@@ -90,7 +91,7 @@ func TestSigmaStaysPositiveAndBounded(t *testing.T) {
 func TestSphereConvergence(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 8, platform.S2()) // dim = 16
 	o := New(Config{Lambda: 16})
-	if err := o.Init(prob, rand.New(rand.NewSource(5))); err != nil {
+	if err := o.Init(prob, rng.New(5)); err != nil {
 		t.Fatal(err)
 	}
 	target := make([]float64, o.n)

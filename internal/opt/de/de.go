@@ -5,10 +5,10 @@ package de
 
 import (
 	"math"
-	"math/rand"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/rng"
 )
 
 // Config holds DE's hyper-parameters (Table IV defaults when zero).
@@ -36,7 +36,7 @@ type Optimizer struct {
 	cfg     Config
 	dim     int
 	nAccels int
-	rng     *rand.Rand
+	rng     *rng.Stream
 	pop     [][]float64
 	fit     []float64
 	trials  [][]float64
@@ -50,7 +50,7 @@ func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
 func (o *Optimizer) Name() string { return "DE" }
 
 // Init implements m3e.Optimizer.
-func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.dim = 2 * p.NumJobs()
 	o.nAccels = p.NumAccels()
 	o.rng = rng
@@ -142,7 +142,7 @@ func (o *Optimizer) toGenomes(vs [][]float64) []encoding.Genome {
 	return out
 }
 
-func randomVector(dim int, rng *rand.Rand) []float64 {
+func randomVector(dim int, rng *rng.Stream) []float64 {
 	v := make([]float64, dim)
 	for i := range v {
 		v[i] = rng.Float64()

@@ -1,13 +1,13 @@
 package de
 
 import (
-	"math/rand"
 	"testing"
 
 	"magma/internal/m3e"
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/rng"
 )
 
 func TestBattery(t *testing.T) {
@@ -24,7 +24,7 @@ func TestDefaultsFollowTableIV(t *testing.T) {
 func TestDistinct3(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{Population: 10})
-	if err := o.Init(prob, rand.New(rand.NewSource(7))); err != nil {
+	if err := o.Init(prob, rng.New(7)); err != nil {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 200; trial++ {
@@ -39,7 +39,7 @@ func TestDistinct3(t *testing.T) {
 func TestTrialVectorsInBounds(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{Population: 12})
-	if err := o.Init(prob, rand.New(rand.NewSource(8))); err != nil {
+	if err := o.Init(prob, rng.New(8)); err != nil {
 		t.Fatal(err)
 	}
 	// Prime phase 0 -> 1.
@@ -57,7 +57,7 @@ func TestTrialVectorsInBounds(t *testing.T) {
 func TestGreedySelectionKeepsBetterParent(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{Population: 8})
-	if err := o.Init(prob, rand.New(rand.NewSource(9))); err != nil {
+	if err := o.Init(prob, rng.New(9)); err != nil {
 		t.Fatal(err)
 	}
 	pop := o.Ask()

@@ -7,11 +7,11 @@
 package ga
 
 import (
-	"math/rand"
 	"sort"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/rng"
 )
 
 // Config holds stdGA's hyper-parameters (Table IV defaults when zero).
@@ -43,7 +43,7 @@ type Optimizer struct {
 	cfg     Config
 	nJobs   int
 	nAccels int
-	rng     *rand.Rand
+	rng     *rng.Stream
 	pop     []encoding.Genome
 }
 
@@ -54,7 +54,7 @@ func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
 func (o *Optimizer) Name() string { return "stdGA" }
 
 // Init implements m3e.Optimizer.
-func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.nJobs, o.nAccels = p.NumJobs(), p.NumAccels()
 	o.rng = rng
 	o.pop = make([]encoding.Genome, o.cfg.Population)

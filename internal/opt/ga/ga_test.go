@@ -9,6 +9,7 @@ import (
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/rng"
 )
 
 func TestBattery(t *testing.T) {
@@ -25,7 +26,7 @@ func TestDefaultsFollowTableIV(t *testing.T) {
 func TestCrossoverSinglePivot(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 20, platform.S2())
 	o := New(Config{Population: 8})
-	if err := o.Init(prob, rand.New(rand.NewSource(9))); err != nil {
+	if err := o.Init(prob, rng.New(9)); err != nil {
 		t.Fatal(err)
 	}
 	dad := encoding.Genome{Accel: make([]int, 20), Prio: make([]float64, 20)}
@@ -64,7 +65,7 @@ func TestCrossoverSinglePivot(t *testing.T) {
 func TestMutationBounds(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 15, platform.S2())
 	o := New(Config{Population: 8, MutationRate: 0.9})
-	if err := o.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+	if err := o.Init(prob, rng.New(2)); err != nil {
 		t.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(3))

@@ -19,16 +19,25 @@
 //     occupants of that core are randomly re-assigned for load balancing
 //     (rate 0.05).
 //
+// Breeding is order-free: every child derives its own RNG stream from
+// the run root keyed by (generation, slot), so Tell can fan the
+// operator pipeline across the evaluation pool's workers (m3e.Breeder)
+// with populations bit-identical at any worker count. The operators
+// additionally record which sub-accelerator queues they dirtied
+// relative to the child's elite parent; the fitness cache reads that
+// provenance (m3e.VariationTracker) to fingerprint elites and small
+// mutations incrementally instead of re-decoding every genome.
+//
 // The package also houses the warm-start engine of §V-C.
 package magma
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/rng"
 )
 
 // Config holds MAGMA's hyper-parameters (§V-B2, §V-B3). Zero values are
@@ -73,31 +82,46 @@ func (c Config) withDefaults(groupSize int) Config {
 	return c
 }
 
-// Optimizer is the MAGMA search state. It implements m3e.Optimizer and
-// m3e.Seeder.
+// Optimizer is the MAGMA search state. It implements m3e.Optimizer,
+// m3e.Seeder, m3e.PoolBreeder and m3e.VariationTracker.
 type Optimizer struct {
 	cfg     Config
 	nJobs   int
 	nAccels int
-	rng     *rand.Rand
+	root    rng.Stream // run root; every draw comes from an At(gen, slot) sub-stream
+	gen     uint64     // completed breeding rounds (0 = initial population)
+	breeder m3e.Breeder
 	pop     []encoding.Genome
 	seeds   []encoding.Genome
 	inited  bool
+	breeds  uint64 // off-schedule breed() calls (tests, one-off callers)
 
 	// Generation scratch, reused across Tell calls so breeding performs
 	// no steady-state allocations: ranked is the sort buffer, elites the
-	// cloned parents, spare the retired population whose gene arrays the
-	// next generation is written into (see Tell for the aliasing rules).
-	ranked  []scored
-	elites  []encoding.Genome
-	spare   []encoding.Genome
-	fromMom []bool // crossoverAccel transplant marker
+	// cloned parents (with eliteIdx their batch indices for provenance),
+	// spare the retired population whose gene arrays the next generation
+	// is written into (see Tell for the aliasing rules).
+	ranked   []scored
+	elites   []encoding.Genome
+	eliteIdx []int
+	spare    []encoding.Genome
+	// Per-slot variation state. prov[i] describes pop[i] relative to the
+	// previously told batch; dirty[i] backs prov[i].Dirty (per-core,
+	// length nAccels); fromMom[i] is slot i's crossoverAccel transplant
+	// marker (per-job). Per-slot ownership is what makes concurrent
+	// breeding race-free.
+	prov     []m3e.VariationInfo
+	dirty    [][]bool
+	fromMom  [][]bool
+	haveProv bool
 }
 
-// scored pairs an individual with its fitness for elite selection.
+// scored pairs an individual with its fitness and batch index for elite
+// selection.
 type scored struct {
-	g encoding.Genome
-	f float64
+	g   encoding.Genome
+	f   float64
+	idx int
 }
 
 // byFitness stable-sorts scored individuals best-first.
@@ -121,11 +145,29 @@ func (o *Optimizer) Seed(genomes []encoding.Genome) {
 	}
 }
 
+// SetBreeder implements m3e.PoolBreeder: Tell fans child breeding
+// across b. Nil (the default) breeds serially; either way populations
+// are bit-identical, because every child draws from its own
+// (generation, slot) stream.
+func (o *Optimizer) SetBreeder(b m3e.Breeder) { o.breeder = b }
+
+// Variations implements m3e.VariationTracker: the provenance of the
+// current population relative to the previously told batch. Nil before
+// the first Tell (the initial population has no parents).
+func (o *Optimizer) Variations() []m3e.VariationInfo {
+	if !o.haveProv {
+		return nil
+	}
+	return o.prov
+}
+
 // Init implements m3e.Optimizer.
-func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.nJobs, o.nAccels = p.NumJobs(), p.NumAccels()
 	o.cfg = o.cfg.withDefaults(o.nJobs)
-	o.rng = rng
+	o.root = *rng
+	o.gen = 0
+	o.haveProv = false
 	o.pop = make([]encoding.Genome, o.cfg.Population)
 	for i := range o.pop {
 		if i < len(o.seeds) && len(o.seeds[i].Accel) == o.nJobs {
@@ -136,7 +178,8 @@ func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
 			o.pop[i] = g
 			continue
 		}
-		o.pop[i] = encoding.Random(o.nJobs, o.nAccels, rng)
+		st := o.root.At(0, uint64(i))
+		o.pop[i] = encoding.Random(o.nJobs, o.nAccels, &st)
 	}
 	o.inited = true
 	return nil
@@ -159,10 +202,16 @@ func (o *Optimizer) Ask() []encoding.Genome { return o.pop }
 // overwrite — the runner clones anything it keeps (Result.Best) before
 // Tell returns, and the current batch being told is a different slice.
 // Steady-state, a whole generation breeds without heap allocation.
+//
+// Breeding runs per child slot on the breeder (the evaluation pool's
+// workers) when one is set: each child reads only the shared elites and
+// writes only its own slot's genome, dirty mask and scratch, drawing
+// from its own (generation, slot) RNG stream — so the population is
+// bit-identical in any breeding order, at any worker count.
 func (o *Optimizer) Tell(genomes []encoding.Genome, fitness []float64) {
 	o.ranked = o.ranked[:0]
 	for i := range genomes {
-		o.ranked = append(o.ranked, scored{genomes[i], fitness[i]})
+		o.ranked = append(o.ranked, scored{genomes[i], fitness[i], i})
 	}
 	sort.Stable(byFitness(o.ranked))
 
@@ -174,22 +223,74 @@ func (o *Optimizer) Tell(genomes []encoding.Genome, fitness []float64) {
 		nElite = len(o.ranked)
 	}
 	o.elites = growGenomes(o.elites, nElite, o.nJobs)
+	if cap(o.eliteIdx) < nElite {
+		o.eliteIdx = make([]int, nElite)
+	}
+	o.eliteIdx = o.eliteIdx[:nElite]
 	for i := 0; i < nElite; i++ {
 		copyGenome(&o.elites[i], o.ranked[i].g)
+		o.eliteIdx[i] = o.ranked[i].idx
 	}
 
 	next := growGenomes(o.spare, o.cfg.Population, o.nJobs)
+	o.growSlots(len(next))
+	o.gen++
 	for i := 0; i < nElite; i++ {
 		copyGenome(&next[i], o.elites[i])
+		// Verbatim elite re-ask: clean relative to its parent.
+		o.prov[i] = m3e.VariationInfo{Parent: o.eliteIdx[i], Dirty: nil}
 	}
-	for i := nElite; i < len(next); i++ {
-		dad := o.elites[o.rng.Intn(nElite)]
-		mom := o.elites[o.rng.Intn(nElite)]
-		copyGenome(&next[i], dad)
-		o.cross(next[i], mom)
+	breedSlot := func(k int) {
+		slot := nElite + k
+		st := o.root.At(o.gen, uint64(slot))
+		dad := st.Intn(nElite)
+		mom := st.Intn(nElite)
+		copyGenome(&next[slot], o.elites[dad])
+		dirty := o.dirty[slot]
+		for a := range dirty {
+			dirty[a] = false
+		}
+		o.cross(next[slot], o.elites[mom], &st, dirty, o.fromMom[slot])
+		o.prov[slot] = m3e.VariationInfo{Parent: o.eliteIdx[dad], Dirty: dirty}
 	}
+	if n := len(next) - nElite; o.breeder != nil {
+		o.breeder.Breed(n, breedSlot)
+	} else {
+		for k := 0; k < n; k++ {
+			breedSlot(k)
+		}
+	}
+	o.haveProv = true
 	o.spare = o.pop
 	o.pop = next
+}
+
+// growSlots sizes the per-slot variation state for n individuals.
+func (o *Optimizer) growSlots(n int) {
+	if cap(o.prov) < n {
+		prov := make([]m3e.VariationInfo, n)
+		copy(prov, o.prov)
+		o.prov = prov
+		dirty := make([][]bool, n)
+		copy(dirty, o.dirty)
+		o.dirty = dirty
+		fromMom := make([][]bool, n)
+		copy(fromMom, o.fromMom)
+		o.fromMom = fromMom
+	}
+	o.prov = o.prov[:n]
+	o.dirty = o.dirty[:n]
+	o.fromMom = o.fromMom[:n]
+	for i := 0; i < n; i++ {
+		if cap(o.dirty[i]) < o.nAccels {
+			o.dirty[i] = make([]bool, o.nAccels)
+		}
+		o.dirty[i] = o.dirty[i][:o.nAccels]
+		if cap(o.fromMom[i]) < o.nJobs {
+			o.fromMom[i] = make([]bool, o.nJobs)
+		}
+		o.fromMom[i] = o.fromMom[i][:o.nJobs]
+	}
 }
 
 // growGenomes resizes a genome scratch slice to n individuals of nJobs
@@ -220,91 +321,144 @@ func copyGenome(dst *encoding.Genome, src encoding.Genome) {
 
 // breed produces one child from two parents through the operator
 // pipeline of Fig. 6 (allocating form, kept for tests and one-off
-// callers; Tell writes children into reused scratch instead).
+// callers; Tell writes children into reused scratch instead). Each call
+// derives a fresh stream, advancing an internal label so repeated
+// breeds differ.
 func (o *Optimizer) breed(dad, mom encoding.Genome) encoding.Genome {
+	o.breeds++
+	st := o.root.At(^uint64(0), o.breeds) // off-schedule label: never collides with Tell's generations
 	child := dad.Clone()
-	o.cross(child, mom)
+	dirty := make([]bool, o.nAccels)
+	fromMom := make([]bool, o.nJobs)
+	o.cross(child, mom, &st, dirty, fromMom)
 	return child
 }
 
 // cross applies the operator pipeline of Fig. 6 to child in place: the
 // crossovers each fire at their own rate, then mutation always applies.
-func (o *Optimizer) cross(child, mom encoding.Genome) {
-	if !o.cfg.DisableCrossoverGen && o.rng.Float64() < o.cfg.CrossoverGenRate {
-		o.crossoverGen(child, mom)
+// Every draw comes from st (the child's own stream); dirty accumulates
+// the cores whose decoded queues may differ from child's pre-pipeline
+// state (the elite parent it was copied from).
+func (o *Optimizer) cross(child, mom encoding.Genome, st *rng.Stream, dirty, fromMom []bool) {
+	if !o.cfg.DisableCrossoverGen && st.Float64() < o.cfg.CrossoverGenRate {
+		o.crossoverGen(child, mom, st, dirty)
 	}
-	if !o.cfg.DisableCrossoverRG && o.rng.Float64() < o.cfg.CrossoverRGRate {
-		o.crossoverRG(child, mom)
+	if !o.cfg.DisableCrossoverRG && st.Float64() < o.cfg.CrossoverRGRate {
+		o.crossoverRG(child, mom, st, dirty)
 	}
-	if !o.cfg.DisableCrossoverAccel && o.rng.Float64() < o.cfg.CrossoverAccelRate {
-		o.crossoverAccel(child, mom)
+	if !o.cfg.DisableCrossoverAccel && st.Float64() < o.cfg.CrossoverAccelRate {
+		o.crossoverAccel(child, mom, st, dirty, fromMom)
 	}
-	o.mutate(child)
+	o.mutate(child, st, dirty)
 }
 
 // mutate re-rolls each gene independently with probability MutationRate.
-func (o *Optimizer) mutate(g encoding.Genome) {
+func (o *Optimizer) mutate(g encoding.Genome, st *rng.Stream, dirty []bool) {
 	for i := range g.Accel {
-		if o.rng.Float64() < o.cfg.MutationRate {
-			g.Accel[i] = o.rng.Intn(o.nAccels)
+		if st.Float64() < o.cfg.MutationRate {
+			a := st.Intn(o.nAccels)
+			if a != g.Accel[i] {
+				dirty[g.Accel[i]] = true
+				dirty[a] = true
+				g.Accel[i] = a
+			}
 		}
 	}
 	for i := range g.Prio {
-		if o.rng.Float64() < o.cfg.MutationRate {
-			g.Prio[i] = o.rng.Float64()
+		if st.Float64() < o.cfg.MutationRate {
+			p := st.Float64()
+			if p != g.Prio[i] {
+				dirty[g.Accel[i]] = true
+				g.Prio[i] = p
+			}
 		}
 	}
 }
 
 // crossoverGen exchanges one genome's tail after a random pivot,
 // leaving the other genome untouched (Fig. 5c).
-func (o *Optimizer) crossoverGen(child, mom encoding.Genome) {
-	pivot := o.rng.Intn(o.nJobs + 1)
-	if o.rng.Intn(2) == 0 {
-		copy(child.Accel[pivot:], mom.Accel[pivot:])
+func (o *Optimizer) crossoverGen(child, mom encoding.Genome, st *rng.Stream, dirty []bool) {
+	pivot := st.Intn(o.nJobs + 1)
+	if st.Intn(2) == 0 {
+		for j := pivot; j < o.nJobs; j++ {
+			if child.Accel[j] != mom.Accel[j] {
+				dirty[child.Accel[j]] = true
+				dirty[mom.Accel[j]] = true
+				child.Accel[j] = mom.Accel[j]
+			}
+		}
 	} else {
-		copy(child.Prio[pivot:], mom.Prio[pivot:])
+		for j := pivot; j < o.nJobs; j++ {
+			if child.Prio[j] != mom.Prio[j] {
+				dirty[child.Accel[j]] = true
+				child.Prio[j] = mom.Prio[j]
+			}
+		}
 	}
 }
 
 // crossoverRG swaps a random range across both genomes simultaneously,
 // preserving each job's (placement, priority) pairing (Fig. 5d).
-func (o *Optimizer) crossoverRG(child, mom encoding.Genome) {
-	lo := o.rng.Intn(o.nJobs)
-	hi := lo + 1 + o.rng.Intn(o.nJobs-lo)
-	copy(child.Accel[lo:hi], mom.Accel[lo:hi])
-	copy(child.Prio[lo:hi], mom.Prio[lo:hi])
+func (o *Optimizer) crossoverRG(child, mom encoding.Genome, st *rng.Stream, dirty []bool) {
+	lo := st.Intn(o.nJobs)
+	hi := lo + 1 + st.Intn(o.nJobs-lo)
+	for j := lo; j < hi; j++ {
+		if child.Accel[j] != mom.Accel[j] {
+			dirty[child.Accel[j]] = true
+			dirty[mom.Accel[j]] = true
+			child.Accel[j] = mom.Accel[j]
+			if child.Prio[j] != mom.Prio[j] {
+				child.Prio[j] = mom.Prio[j]
+			}
+		} else if child.Prio[j] != mom.Prio[j] {
+			dirty[child.Accel[j]] = true
+			child.Prio[j] = mom.Prio[j]
+		}
+	}
 }
 
 // crossoverAccel transplants Mom's entire job set for one random core
 // into the child (Fig. 5e). Jobs the child previously placed on that
 // core — and that Mom does not — are randomly re-assigned to keep the
 // load balanced.
-func (o *Optimizer) crossoverAccel(child, mom encoding.Genome) {
-	a := o.rng.Intn(o.nAccels)
-	if cap(o.fromMom) < o.nJobs {
-		o.fromMom = make([]bool, o.nJobs)
-	}
-	fromMom := o.fromMom[:o.nJobs]
+func (o *Optimizer) crossoverAccel(child, mom encoding.Genome, st *rng.Stream, dirty, fromMom []bool) {
+	a := st.Intn(o.nAccels)
 	for j := range fromMom {
 		fromMom[j] = false
 	}
 	for j := 0; j < o.nJobs; j++ {
 		if mom.Accel[j] == a {
 			fromMom[j] = true
-			child.Accel[j] = a
-			child.Prio[j] = mom.Prio[j]
+			if child.Accel[j] != a {
+				dirty[child.Accel[j]] = true
+				dirty[a] = true
+				child.Accel[j] = a
+			}
+			if child.Prio[j] != mom.Prio[j] {
+				dirty[a] = true
+				child.Prio[j] = mom.Prio[j]
+			}
 		}
 	}
 	for j := 0; j < o.nJobs; j++ {
 		if child.Accel[j] == a && !fromMom[j] {
-			child.Accel[j] = o.rng.Intn(o.nAccels)
-			child.Prio[j] = o.rng.Float64()
+			na := st.Intn(o.nAccels)
+			np := st.Float64()
+			if na != a {
+				dirty[a] = true
+				dirty[na] = true
+			} else if np != child.Prio[j] {
+				dirty[a] = true
+			}
+			child.Accel[j] = na
+			child.Prio[j] = np
 		}
 	}
 }
 
 var (
-	_ m3e.Optimizer = (*Optimizer)(nil)
-	_ m3e.Seeder    = (*Optimizer)(nil)
+	_ m3e.Optimizer        = (*Optimizer)(nil)
+	_ m3e.Seeder           = (*Optimizer)(nil)
+	_ m3e.PoolBreeder      = (*Optimizer)(nil)
+	_ m3e.VariationTracker = (*Optimizer)(nil)
 )

@@ -5,11 +5,14 @@ import (
 	"testing"
 	"testing/quick"
 
+	"magma/internal/rng"
+
 	"magma/internal/encoding"
 	"magma/internal/m3e"
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/sim"
 )
 
 func TestBattery(t *testing.T) {
@@ -20,7 +23,7 @@ func newInited(t *testing.T, cfg Config, nJobs int) *Optimizer {
 	t.Helper()
 	prob := opttest.Problem(t, models.Mix, nJobs, platform.S2())
 	o := New(cfg)
-	if err := o.Init(prob, rand.New(rand.NewSource(5))); err != nil {
+	if err := o.Init(prob, rng.New(5)); err != nil {
 		t.Fatalf("Init: %v", err)
 	}
 	return o
@@ -91,7 +94,8 @@ func TestCrossoverGenTouchesOneGenome(t *testing.T) {
 	o, dad, mom := operatorHarness(t, 30)
 	for trial := 0; trial < 50; trial++ {
 		child := dad.Clone()
-		o.crossoverGen(child, mom)
+		st := o.root.At(1000, uint64(trial))
+		o.crossoverGen(child, mom, &st, make([]bool, o.nAccels))
 		accelChanged, prioChanged := false, false
 		for j := 0; j < 30; j++ {
 			if child.Accel[j] != dad.Accel[j] {
@@ -117,7 +121,8 @@ func TestCrossoverRGPreservesPairs(t *testing.T) {
 	o, dad, mom := operatorHarness(t, 30)
 	for trial := 0; trial < 50; trial++ {
 		child := dad.Clone()
-		o.crossoverRG(child, mom)
+		st := o.root.At(1001, uint64(trial))
+		o.crossoverRG(child, mom, &st, make([]bool, o.nAccels))
 		for j := 0; j < 30; j++ {
 			fromDad := child.Accel[j] == dad.Accel[j] && child.Prio[j] == dad.Prio[j]
 			fromMom := child.Accel[j] == mom.Accel[j] && child.Prio[j] == mom.Prio[j]
@@ -137,7 +142,8 @@ func TestCrossoverRGSwapsContiguousRange(t *testing.T) {
 	}
 	for trial := 0; trial < 50; trial++ {
 		child := dad.Clone()
-		o.crossoverRG(child, mom)
+		st := o.root.At(1002, uint64(trial))
+		o.crossoverRG(child, mom, &st, make([]bool, o.nAccels))
 		// Mom-genes must form one contiguous range.
 		first, last := -1, -1
 		for j := 0; j < 30; j++ {
@@ -163,7 +169,8 @@ func TestCrossoverAccelTransplantsCore(t *testing.T) {
 	o, dad, mom := operatorHarness(t, 40)
 	for trial := 0; trial < 80; trial++ {
 		child := dad.Clone()
-		o.crossoverAccel(child, mom)
+		st := o.root.At(1003, uint64(trial))
+		o.crossoverAccel(child, mom, &st, make([]bool, o.nAccels), make([]bool, o.nJobs))
 		// Find which core was transplanted: every mom-job of that core
 		// must appear in the child with mom's priority.
 		for a := 0; a < o.nAccels; a++ {
@@ -190,7 +197,8 @@ func TestMutationRespectsBounds(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 50; trial++ {
 		g := encoding.Random(25, o.nAccels, r)
-		o.mutate(g)
+		st := o.root.At(1004, uint64(trial))
+		o.mutate(g, &st, make([]bool, o.nAccels))
 		if err := g.Validate(25, o.nAccels); err != nil {
 			t.Fatalf("mutated genome invalid: %v", err)
 		}
@@ -219,7 +227,7 @@ func TestWarmStartSeeding(t *testing.T) {
 	}
 	o := New(Config{Population: 10})
 	o.Seed([]encoding.Genome{res.Best})
-	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+	if err := o.Init(prob, rng.New(1)); err != nil {
 		t.Fatal(err)
 	}
 	first := o.Ask()[0]
@@ -236,7 +244,7 @@ func TestWarmStartInvalidSeedRejected(t *testing.T) {
 	bad := encoding.Genome{Accel: make([]int, 20), Prio: make([]float64, 20)}
 	bad.Accel[0] = 99
 	o.Seed([]encoding.Genome{bad})
-	if err := o.Init(prob, rand.New(rand.NewSource(1))); err == nil {
+	if err := o.Init(prob, rng.New(1)); err == nil {
 		t.Error("invalid warm-start seed accepted")
 	}
 }
@@ -339,5 +347,130 @@ func TestQuickBreedValidity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// serialBreeder runs the breeding hook inline — a stand-in breeder that
+// exercises the SetBreeder path without goroutines.
+type serialBreeder struct{ calls int }
+
+func (b *serialBreeder) Breed(n int, f func(int)) {
+	b.calls++
+	for i := n - 1; i >= 0; i-- { // reverse order: breeding must be order-free
+		f(i)
+	}
+}
+
+// TestBreederOrderIndependence pins the tentpole's determinism claim at
+// the optimizer level: populations are bit-identical whether Tell
+// breeds serially, through a breeder in reverse order, or on a real
+// worker pool — because every child draws from its own (generation,
+// slot) stream.
+func TestBreederOrderIndependence(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 20, platform.S2())
+	run := func(setup func(o *Optimizer)) [][]encoding.Genome {
+		o := New(Config{Population: 16})
+		if err := o.Init(prob, rng.New(3)); err != nil {
+			t.Fatal(err)
+		}
+		setup(o)
+		r := rand.New(rand.NewSource(7))
+		var gens [][]encoding.Genome
+		for gen := 0; gen < 5; gen++ {
+			pop := o.Ask()
+			snap := make([]encoding.Genome, len(pop))
+			fit := make([]float64, len(pop))
+			for i, g := range pop {
+				snap[i] = g.Clone()
+				fit[i] = r.Float64()
+			}
+			gens = append(gens, snap)
+			o.Tell(pop, fit)
+		}
+		return gens
+	}
+	serial := run(func(o *Optimizer) {})
+	reversed := run(func(o *Optimizer) { o.SetBreeder(&serialBreeder{}) })
+	pooled := run(func(o *Optimizer) { o.SetBreeder(m3e.NewPool(prob, 4)) })
+	for gen := range serial {
+		for i := range serial[gen] {
+			for j := range serial[gen][i].Accel {
+				if serial[gen][i].Accel[j] != reversed[gen][i].Accel[j] ||
+					serial[gen][i].Prio[j] != reversed[gen][i].Prio[j] {
+					t.Fatalf("gen %d individual %d: reverse-order breeding diverged", gen, i)
+				}
+				if serial[gen][i].Accel[j] != pooled[gen][i].Accel[j] ||
+					serial[gen][i].Prio[j] != pooled[gen][i].Prio[j] {
+					t.Fatalf("gen %d individual %d: pooled breeding diverged", gen, i)
+				}
+			}
+		}
+	}
+}
+
+// TestVariationProvenance pins the m3e.VariationTracker contract the
+// fitness cache's incremental fingerprints rely on: after every Tell,
+// prov[i].Parent names the previous-batch genome child i was bred from,
+// and FingerprintUpdate against that parent with prov[i].Dirty equals a
+// full decode of the child — across several generations of the real
+// operator pipeline (all crossovers + mutation at default rates).
+func TestVariationProvenance(t *testing.T) {
+	prob := opttest.Problem(t, models.Mix, 30, platform.S2())
+	nAccels := prob.NumAccels()
+	o := New(Config{Population: 20})
+	if err := o.Init(prob, rng.New(11)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Variations() != nil {
+		t.Fatal("initial population claims provenance")
+	}
+	r := rand.New(rand.NewSource(13))
+	prev := []encoding.Genome(nil)
+	for gen := 0; gen < 6; gen++ {
+		pop := o.Ask()
+		cur := make([]encoding.Genome, len(pop))
+		for i, g := range pop {
+			cur[i] = g.Clone()
+		}
+		if prov := o.Variations(); gen == 0 {
+			if prov != nil {
+				t.Fatal("generation 0 claims provenance")
+			}
+		} else {
+			if len(prov) != len(cur) {
+				t.Fatalf("gen %d: %d provenance entries for %d genomes", gen, len(prov), len(cur))
+			}
+			for i, v := range prov {
+				if v.Parent < 0 || v.Parent >= len(prev) {
+					t.Fatalf("gen %d slot %d: parent %d out of range", gen, i, v.Parent)
+				}
+				parent := prev[v.Parent]
+				var parentMap, scratch, ref sim.Mapping
+				parentCH := make(encoding.CoreHashes, nAccels)
+				parent.FingerprintCoresInto(nAccels, &parentMap, parentCH)
+				refCH := make(encoding.CoreHashes, nAccels)
+				want := cur[i].FingerprintCoresInto(nAccels, &ref, refCH)
+				if v.Dirty == nil {
+					// Clean claim: the genome must be bit-identical to its parent.
+					for j := range parent.Accel {
+						if cur[i].Accel[j] != parent.Accel[j] || cur[i].Prio[j] != parent.Prio[j] {
+							t.Fatalf("gen %d slot %d: claimed clean but differs from parent at job %d", gen, i, j)
+						}
+					}
+					continue
+				}
+				ch := make(encoding.CoreHashes, nAccels)
+				got := encoding.FingerprintUpdate(cur[i], nAccels, v.Dirty, &parentMap, parentCH, &scratch, ch)
+				if got != want {
+					t.Fatalf("gen %d slot %d: incremental fingerprint %v != full %v (dirty %v)", gen, i, got, want, v.Dirty)
+				}
+			}
+		}
+		fit := make([]float64, len(pop))
+		for i := range fit {
+			fit[i] = r.Float64()
+		}
+		o.Tell(pop, fit)
+		prev = cur
 	}
 }

@@ -7,10 +7,10 @@ package pso
 
 import (
 	"math"
-	"math/rand"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/rng"
 )
 
 // Config holds PSO's hyper-parameters (Table IV defaults when zero).
@@ -46,7 +46,7 @@ type Optimizer struct {
 	cfg     Config
 	dim     int
 	nAccels int
-	rng     *rand.Rand
+	rng     *rng.Stream
 
 	pos, vel [][]float64
 	pbest    [][]float64
@@ -62,7 +62,7 @@ func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
 func (o *Optimizer) Name() string { return "PSO" }
 
 // Init implements m3e.Optimizer.
-func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.dim = 2 * p.NumJobs()
 	o.nAccels = p.NumAccels()
 	o.rng = rng

@@ -8,6 +8,7 @@ import (
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/rng"
 )
 
 func TestBattery(t *testing.T) {
@@ -24,7 +25,7 @@ func TestDefaultsFollowTableIV(t *testing.T) {
 func TestPositionsStayInBox(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{Particles: 10})
-	if err := o.Init(prob, rand.New(rand.NewSource(5))); err != nil {
+	if err := o.Init(prob, rng.New(5)); err != nil {
 		t.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(6))
@@ -53,7 +54,7 @@ func TestPositionsStayInBox(t *testing.T) {
 func TestGlobalBestTracked(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{Particles: 6})
-	if err := o.Init(prob, rand.New(rand.NewSource(7))); err != nil {
+	if err := o.Init(prob, rng.New(7)); err != nil {
 		t.Fatal(err)
 	}
 	gs := o.Ask()

@@ -4,10 +4,9 @@
 package random
 
 import (
-	"math/rand"
-
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/rng"
 )
 
 // Optimizer draws independent uniform individuals forever.
@@ -15,7 +14,7 @@ type Optimizer struct {
 	batch   int
 	nJobs   int
 	nAccels int
-	rng     *rand.Rand
+	rng     *rng.Stream
 }
 
 // New builds a random-search optimizer emitting batches of the given
@@ -31,7 +30,7 @@ func New(batch int) *Optimizer {
 func (o *Optimizer) Name() string { return "Random" }
 
 // Init implements m3e.Optimizer.
-func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.nJobs, o.nAccels = p.NumJobs(), p.NumAccels()
 	o.rng = rng
 	return nil

@@ -1,13 +1,13 @@
 package random
 
 import (
-	"math/rand"
 	"testing"
 
 	"magma/internal/m3e"
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/rng"
 )
 
 func TestBattery(t *testing.T) {
@@ -17,14 +17,14 @@ func TestBattery(t *testing.T) {
 func TestBatchSize(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(17)
-	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+	if err := o.Init(prob, rng.New(1)); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(o.Ask()); got != 17 {
 		t.Errorf("batch = %d, want 17", got)
 	}
 	d := New(0)
-	if err := d.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+	if err := d.Init(prob, rng.New(2)); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(d.Ask()); got != 64 {
@@ -35,7 +35,7 @@ func TestBatchSize(t *testing.T) {
 func TestSamplesVary(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(8)
-	if err := o.Init(prob, rand.New(rand.NewSource(3))); err != nil {
+	if err := o.Init(prob, rng.New(3)); err != nil {
 		t.Fatal(err)
 	}
 	a := o.Ask()

@@ -1,11 +1,10 @@
 package rl
 
 import (
-	"math/rand"
-
 	"magma/internal/encoding"
 	"magma/internal/m3e"
 	"magma/internal/nn"
+	"magma/internal/rng"
 )
 
 // A2CConfig holds the A2C hyper-parameters (Table IV defaults when zero).
@@ -60,7 +59,7 @@ func NewA2C(cfg A2CConfig) *A2C { return &A2C{cfg: cfg.withDefaults()} }
 func (o *A2C) Name() string { return "RL A2C" }
 
 // Init implements m3e.Optimizer.
-func (o *A2C) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *A2C) Init(p *m3e.Problem, rng *rng.Stream) error {
 	if err := o.core.init(p, rng, o.cfg.Hidden); err != nil {
 		return err
 	}

@@ -2,11 +2,11 @@ package rl
 
 import (
 	"math"
-	"math/rand"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
 	"magma/internal/nn"
+	"magma/internal/rng"
 )
 
 // PPOConfig holds the PPO2 hyper-parameters (Table IV defaults when zero).
@@ -69,7 +69,7 @@ func NewPPO(cfg PPOConfig) *PPO { return &PPO{cfg: cfg.withDefaults()} }
 func (o *PPO) Name() string { return "RL PPO2" }
 
 // Init implements m3e.Optimizer.
-func (o *PPO) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *PPO) Init(p *m3e.Problem, rng *rng.Stream) error {
 	if err := o.core.init(p, rng, o.cfg.Hidden); err != nil {
 		return err
 	}

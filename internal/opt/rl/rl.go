@@ -19,11 +19,11 @@ package rl
 
 import (
 	"math"
-	"math/rand"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
 	"magma/internal/nn"
+	"magma/internal/rng"
 )
 
 // PriorityBuckets discretizes the priority genome for the action space.
@@ -32,7 +32,7 @@ const PriorityBuckets = 10
 // core is the state shared by both RL mappers.
 type core struct {
 	p       *m3e.Problem
-	rng     *rand.Rand
+	rng     *rng.Stream
 	nJobs   int
 	nAccels int
 	obsDim  int
@@ -49,7 +49,7 @@ type core struct {
 	rewardCount, rewardMean, rewardM2 float64
 }
 
-func (c *core) init(p *m3e.Problem, rng *rand.Rand, hidden int) error {
+func (c *core) init(p *m3e.Problem, rng *rng.Stream, hidden int) error {
 	c.p = p
 	c.rng = rng
 	c.nJobs = p.NumJobs()

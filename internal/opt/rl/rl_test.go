@@ -2,13 +2,13 @@ package rl
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"magma/internal/m3e"
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/rng"
 )
 
 // Small hidden widths keep the RL tests fast; the algorithmic paths are
@@ -38,7 +38,7 @@ func TestDefaultsFollowTableIV(t *testing.T) {
 func TestEpisodeProducesValidGenome(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	var c core
-	if err := c.init(prob, rand.New(rand.NewSource(1)), 8); err != nil {
+	if err := c.init(prob, rng.New(1), 8); err != nil {
 		t.Fatal(err)
 	}
 	for trial := 0; trial < 10; trial++ {
@@ -63,7 +63,7 @@ func TestEpisodeProducesValidGenome(t *testing.T) {
 func TestObservationNormalized(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	var c core
-	if err := c.init(prob, rand.New(rand.NewSource(2)), 8); err != nil {
+	if err := c.init(prob, rng.New(2), 8); err != nil {
 		t.Fatal(err)
 	}
 	load := []float64{100, 0, 50, 25}

@@ -13,11 +13,11 @@ package tbpsa
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"magma/internal/encoding"
 	"magma/internal/m3e"
+	"magma/internal/rng"
 	"magma/internal/stats"
 )
 
@@ -59,7 +59,7 @@ type Optimizer struct {
 	cfg     Config
 	dim     int
 	nAccels int
-	rng     *rand.Rand
+	rng     *rng.Stream
 
 	lambda  int
 	parents []parent
@@ -75,7 +75,7 @@ func New(cfg Config) *Optimizer { return &Optimizer{cfg: cfg.withDefaults()} }
 func (o *Optimizer) Name() string { return "TBPSA" }
 
 // Init implements m3e.Optimizer.
-func (o *Optimizer) Init(p *m3e.Problem, rng *rand.Rand) error {
+func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.dim = 2 * p.NumJobs()
 	o.nAccels = p.NumAccels()
 	o.rng = rng
@@ -158,7 +158,7 @@ func (o *Optimizer) Tell(_ []encoding.Genome, fitness []float64) {
 	}
 }
 
-func randomVector(dim int, rng *rand.Rand) []float64 {
+func randomVector(dim int, rng *rng.Stream) []float64 {
 	v := make([]float64, dim)
 	for i := range v {
 		v[i] = rng.Float64()

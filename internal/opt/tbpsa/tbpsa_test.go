@@ -8,6 +8,7 @@ import (
 	"magma/internal/models"
 	"magma/internal/opt/opttest"
 	"magma/internal/platform"
+	"magma/internal/rng"
 )
 
 func TestBattery(t *testing.T) {
@@ -24,7 +25,7 @@ func TestDefaultInitialPopulation(t *testing.T) {
 func TestPopulationGrowsOnStagnation(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{InitialLambda: 10, Window: 3})
-	if err := o.Init(prob, rand.New(rand.NewSource(1))); err != nil {
+	if err := o.Init(prob, rng.New(1)); err != nil {
 		t.Fatal(err)
 	}
 	// Feed constant fitness: pure stagnation; lambda must grow.
@@ -44,7 +45,7 @@ func TestPopulationGrowsOnStagnation(t *testing.T) {
 func TestPopulationStableWhileImproving(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{InitialLambda: 10, Window: 3})
-	if err := o.Init(prob, rand.New(rand.NewSource(2))); err != nil {
+	if err := o.Init(prob, rng.New(2)); err != nil {
 		t.Fatal(err)
 	}
 	best := 0.0
@@ -65,7 +66,7 @@ func TestPopulationStableWhileImproving(t *testing.T) {
 func TestGrowthCapped(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{InitialLambda: 10, Window: 2, MaxLambda: 20})
-	if err := o.Init(prob, rand.New(rand.NewSource(3))); err != nil {
+	if err := o.Init(prob, rng.New(3)); err != nil {
 		t.Fatal(err)
 	}
 	for gen := 0; gen < 20; gen++ {
@@ -81,7 +82,7 @@ func TestGrowthCapped(t *testing.T) {
 func TestOffspringValid(t *testing.T) {
 	prob := opttest.Problem(t, models.Mix, 16, platform.S2())
 	o := New(Config{InitialLambda: 8})
-	if err := o.Init(prob, rand.New(rand.NewSource(4))); err != nil {
+	if err := o.Init(prob, rng.New(4)); err != nil {
 		t.Fatal(err)
 	}
 	r := rand.New(rand.NewSource(5))

@@ -65,8 +65,14 @@ func (p Platform) SystemBWBytesPerCycle() float64 {
 	return p.SystemBWGBs * 1e9 / ClockHz
 }
 
-// Homogeneous reports whether all sub-accelerators share one configuration.
+// Homogeneous reports whether all sub-accelerators share one
+// configuration. A platform with no sub-accelerators is vacuously
+// homogeneous (it used to panic on the SubAccels[1:] slice; such a
+// platform fails Validate, but Homogeneous must not blow up on it).
 func (p Platform) Homogeneous() bool {
+	if len(p.SubAccels) == 0 {
+		return true
+	}
 	for _, s := range p.SubAccels[1:] {
 		if s.Config != p.SubAccels[0].Config {
 			return false

@@ -158,3 +158,20 @@ func TestBWSweeps(t *testing.T) {
 		t.Errorf("Settings = %v", got)
 	}
 }
+
+// Regression: Homogeneous used to panic on an empty SubAccels slice
+// (p.SubAccels[1:] on zero length). Such a platform fails Validate, but
+// probing it must not blow up.
+func TestHomogeneousEmptyPlatform(t *testing.T) {
+	var p Platform
+	if !p.Homogeneous() {
+		t.Error("empty platform should be vacuously homogeneous")
+	}
+	if p.Validate() == nil {
+		t.Error("empty platform must still fail Validate")
+	}
+	single := Platform{SubAccels: S1().SubAccels[:1], SystemBWGBs: 16}
+	if !single.Homogeneous() {
+		t.Error("single-core platform should be homogeneous")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	mrand "math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -255,11 +254,11 @@ func TestJobEventsSSE(t *testing.T) {
 // facade; the server resolves it by name through the same registry.
 type serveUniform struct {
 	n, a int
-	rng  *mrand.Rand
+	rng  *magma.RNG
 }
 
 func (u *serveUniform) Name() string { return "serve-test-uniform" }
-func (u *serveUniform) Init(p *magma.SearchProblem, rng *mrand.Rand) error {
+func (u *serveUniform) Init(p *magma.SearchProblem, rng *magma.RNG) error {
 	u.n, u.a, u.rng = p.NumJobs(), p.NumAccels(), rng
 	return nil
 }

@@ -102,6 +102,12 @@ type CacheJSON struct {
 	Invalid      uint64  `json:"invalid"`
 	HitRate      float64 `json:"hit_rate"`
 	CrossHitRate float64 `json:"cross_hit_rate"`
+	// Fingerprint-path counters: full decodes vs incremental dirty-core
+	// rebuilds vs clean parent copies (see m3e.CacheStats).
+	FPFull        uint64  `json:"fp_full"`
+	FPIncremental uint64  `json:"fp_incremental"`
+	FPClean       uint64  `json:"fp_clean"`
+	FastFPRate    float64 `json:"fast_fp_rate"`
 }
 
 func cacheJSON(s m3e.CacheStats) CacheJSON {
@@ -109,6 +115,8 @@ func cacheJSON(s m3e.CacheStats) CacheJSON {
 		Hits: s.Hits, CrossHits: s.CrossHits, Deduped: s.Deduped,
 		Misses: s.Misses, Invalid: s.Invalid,
 		HitRate: s.HitRate(), CrossHitRate: s.CrossHitRate(),
+		FPFull: s.FullFP, FPIncremental: s.IncrementalFP, FPClean: s.CleanFP,
+		FastFPRate: s.FastFPRate(),
 	}
 }
 
@@ -123,6 +131,8 @@ type EngineJSON struct {
 	ProblemsEvicted     uint64    `json:"problems_evicted"`
 	PoolsBuilt          uint64    `json:"pools_built"`
 	PoolsReused         uint64    `json:"pools_reused"`
+	CachesBuilt         uint64    `json:"caches_built"`
+	CachesReused        uint64    `json:"caches_reused"`
 	Cache               CacheJSON `json:"cache"`
 	CrossRequestHitRate float64   `json:"cross_request_hit_rate"`
 }
@@ -131,6 +141,7 @@ func engineJSON(s magma.SolverStats) EngineJSON {
 	return EngineJSON{
 		Searches: s.Searches, TablesBuilt: s.TablesBuilt, TablesReused: s.TablesReused,
 		ProblemsEvicted: s.ProblemsEvicted, PoolsBuilt: s.PoolsBuilt, PoolsReused: s.PoolsReused,
+		CachesBuilt: s.CachesBuilt, CachesReused: s.CachesReused,
 		Cache:               cacheJSON(s.Cache),
 		CrossRequestHitRate: s.Cache.CrossHitRate(),
 	}

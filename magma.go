@@ -168,6 +168,11 @@ type Options struct {
 // Options.Cache).
 type CacheStats = m3e.CacheStats
 
+// PhaseTimings breaks a search's wall-clock down per generation phase:
+// candidate generation (ask), the cache's fingerprint pass, simulation,
+// and selection+breeding (tell). See Schedule.Phases.
+type PhaseTimings = m3e.PhaseTimings
+
 // Schedule is a found global mapping together with its evaluation.
 type Schedule struct {
 	// Mapping holds the per-core ordered job queues.
@@ -193,6 +198,11 @@ type Schedule struct {
 	// Options.EffectiveBudget, where cached duplicates are free.
 	Samples int
 	Asked   int
+	// Phases is the search's per-phase wall-clock breakdown (ask /
+	// fingerprint / simulate / tell across all generations) — the
+	// observability behind cmd/bench's phase report. Zero for the manual
+	// heuristics, which have no generations.
+	Phases PhaseTimings
 	// Partial reports that the search was aborted by its context
 	// (deadline, cancel, client disconnect) before the budget ran out.
 	// The schedule is the best found up to the last completed

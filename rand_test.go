@@ -1,6 +1,8 @@
 package magma_test
 
-import "math/rand"
+import "magma/internal/rng"
 
-// newRand builds a deterministic RNG for tests and benchmarks.
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// newRand builds a deterministic RNG stream (layout v2) for tests and
+// benchmarks. It satisfies encoding.Rand and is what m3e.Run hands to
+// Optimizer.Init.
+func newRand(seed int64) *rng.Stream { return rng.New(seed) }

@@ -16,6 +16,7 @@ import (
 	"magma/internal/opt/random"
 	"magma/internal/opt/rl"
 	"magma/internal/opt/tbpsa"
+	"magma/internal/rng"
 )
 
 // Mapper is the pluggable search-algorithm interface (§IV-B), re-exported
@@ -26,6 +27,14 @@ import (
 // full contract. A Mapper instance serves one search — Register a
 // factory, not an instance.
 type Mapper = m3e.Optimizer
+
+// RNG is the run's root random stream handed to Mapper.Init (RNG layout
+// v2): a splittable, counter-based SplitMix64 generator. Sequential
+// mappers draw from it directly (Intn/Float64/NormFloat64); mappers
+// that parallelize their variation step derive one independent
+// sub-stream per work item with At(generation, slot), which keeps
+// results bit-identical at any worker count. See internal/rng.
+type RNG = rng.Stream
 
 // MapperFactory builds a fresh Mapper instance for one search.
 type MapperFactory func() Mapper

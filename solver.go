@@ -166,6 +166,7 @@ func (s *Solver) optimizeHandle(ctx context.Context, h *engine.ProblemHandle, g 
 	sched.Cache = res.Cache
 	sched.Samples = res.Samples
 	sched.Asked = res.Asked
+	sched.Phases = res.Phases
 	sched.Partial = res.Aborted
 	return sched, nil
 }
@@ -342,6 +343,7 @@ func (s *Solver) OptimizeStreamCtx(ctx context.Context, wl Workload, p Platform,
 		}
 		res.Schedules = append(res.Schedules, sched)
 		res.Cache.Add(sched.Cache)
+		res.Phases.Add(sched.Phases)
 		totalFLOPs += g.TotalFLOPs()
 		res.TotalSeconds += sched.MakespanCycles / clockHz()
 		if sched.Partial {

@@ -63,6 +63,9 @@ type StreamResult struct {
 	// Cache aggregates the fitness-cache counters across all group
 	// searches (zero unless StreamOptions.Cache).
 	Cache CacheStats
+	// Phases aggregates the per-phase wall-clock breakdown across all
+	// group searches (see Schedule.Phases).
+	Phases PhaseTimings
 	// Partial reports that the stream was aborted by its context before
 	// every group was scheduled: Schedules holds the completed prefix,
 	// whose last entry may itself be partial (Schedule.Partial).
