@@ -18,10 +18,19 @@
 //
 //	bench -serve                          # writes BENCH_serve.json
 //	bench -serve -requests 48 -clients 8  # heavier load
+//
+// With -serve -chaos, the load test runs with fault injection armed:
+// mapper panics at a fixed generation cadence (recovered into 500s while
+// the server keeps serving), delayed simulations, and snapshot write
+// errors against a periodic background snapshotter. The report then
+// carries a "chaos" section counting the recovered errors alongside the
+// usual throughput numbers, and verifies the surviving snapshot still
+// restores.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +38,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -38,6 +48,7 @@ import (
 
 	"magma"
 	"magma/internal/encoding"
+	"magma/internal/fault"
 	"magma/internal/m3e"
 	"magma/internal/models"
 	"magma/internal/opt/cmaes"
@@ -171,14 +182,18 @@ func main() {
 		serveOut  = flag.String("serveout", "BENCH_serve.json", "output path for the serve load-test report")
 		requests  = flag.Int("requests", 24, "serve mode: total requests to fire")
 		clients   = flag.Int("clients", 4, "serve mode: concurrent clients")
+		chaos     = flag.Bool("chaos", false, "serve mode: arm fault injection (mapper panics, delayed simulations, snapshot write errors) and report recovered-error counts")
 		workers   = flag.Int("workers", 0, "worker count for the phase-breakdown searches (0 = GOMAXPROCS)")
 	)
 	testing.Init() // registers test.* flags so benchtime is settable
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
+	if *chaos && !*serveMode {
+		log.Fatal("-chaos requires -serve")
+	}
 	if *serveMode {
-		if err := serveLoadTest(*serveOut, *requests, *clients); err != nil {
+		if err := serveLoadTest(*serveOut, *requests, *clients, *chaos); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -486,16 +501,105 @@ type ServeReport struct {
 	TablesReused        uint64  `json:"tables_reused"`
 	PoolsBuilt          uint64  `json:"pools_built"`
 	PoolsReused         uint64  `json:"pools_reused"`
+	// Coalesced counts requests answered by an identical in-flight
+	// request's search (singleflight) instead of a search of their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Chaos is present only under -chaos: the recovered-error counts.
+	Chaos *ChaosReport `json:"chaos,omitempty"`
+}
+
+// ChaosReport counts what the fault-injection run survived: every
+// number here is an error the server absorbed while continuing to
+// serve (the throughput figures above are measured through the chaos).
+type ChaosReport struct {
+	// MapperPanics is the engine's count of recovered mapper panics;
+	// Failed500s the requests that saw them as HTTP 500s (coalesced
+	// followers of a panicked flight share one panic, so 500s can exceed
+	// panics); Succeeded the requests that still completed 200.
+	MapperPanics uint64 `json:"mapper_panics"`
+	Failed500s   int64  `json:"failed_500s"`
+	Succeeded    int64  `json:"succeeded"`
+	// DelayedSimulations counts evaluation batches slowed by the armed
+	// delay hook.
+	DelayedSimulations uint64 `json:"delayed_simulations"`
+	// Snapshot churn under injected write errors: attempts, injected
+	// failures, durable successes — and whether the surviving file still
+	// restores into a fresh Solver (torn or half-written files must
+	// never be left behind).
+	SnapshotAttempts  int    `json:"snapshot_attempts"`
+	SnapshotFailures  int    `json:"snapshot_failures"`
+	SnapshotsTaken    uint64 `json:"snapshots_taken"`
+	SnapshotRestoreOK bool   `json:"snapshot_restore_ok"`
+	ProblemsRestored  uint64 `json:"problems_restored"`
 }
 
 // serveLoadTest stands up the HTTP handler in-process over one shared
 // Solver and fires a repeated-workload request mix from concurrent
 // clients — the serving pattern the engine exists for: most requests
 // repeat a problem the solver has already profiled and partly solved.
-func serveLoadTest(out string, requests, clients int) error {
+// With chaos set, the same mix runs with fault injection armed and the
+// report counts what the server recovered from.
+func serveLoadTest(out string, requests, clients int, chaos bool) error {
 	solver := magma.NewSolver(magma.SolverOptions{})
 	ts := httptest.NewServer(serve.New(solver).Handler())
 	defer ts.Close()
+
+	var (
+		failed500s   atomic.Int64
+		succeeded    atomic.Int64
+		snapAttempts int
+		snapFailures int
+		snapPath     string
+		stopSnaps    = func() {}
+	)
+	if chaos {
+		fault.Reset()
+		defer fault.Reset()
+		// One mapper panic roughly every 97 generations across the whole
+		// request stream: the recover boundary turns each into a single
+		// failed request (HTTP 500) while the server keeps serving.
+		fault.Enable(fault.M3EAsk, fault.Every(97, func() error {
+			panic("chaos: injected mapper panic")
+		}))
+		// Periodic slow evaluations (a stalled batch, not an error).
+		fault.Enable(fault.M3ESimulate, fault.Every(512, func() error {
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		}))
+		// Every third snapshot write fails before touching the data; the
+		// previous durable snapshot must survive each failure.
+		fault.Enable(fault.PersistWrite, fault.Every(3, func() error {
+			return errors.New("chaos: injected snapshot write error")
+		}))
+		dir, err := os.MkdirTemp("", "bench-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		snapPath = filepath.Join(dir, "solver.snap")
+		quit := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-quit:
+					return
+				case <-tick.C:
+					snapAttempts++
+					if err := solver.SnapshotFile(snapPath); err != nil {
+						snapFailures++
+					}
+				}
+			}
+		}()
+		stopSnaps = func() {
+			close(quit)
+			<-done
+		}
+	}
 
 	// Three distinct workloads cycling through the request stream: every
 	// request beyond the first three re-asks a problem the shared engine
@@ -533,7 +637,14 @@ func serveLoadTest(out string, requests, clients int) error {
 					errs[c] = err
 					return
 				}
-				if resp.StatusCode != http.StatusOK {
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					succeeded.Add(1)
+				case chaos && resp.StatusCode == http.StatusInternalServerError:
+					// An injected mapper panic failed this request; the
+					// server recovered and the next request proceeds.
+					failed500s.Add(1)
+				default:
 					errs[c] = fmt.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
 					return
 				}
@@ -542,10 +653,36 @@ func serveLoadTest(out string, requests, clients int) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
+	stopSnaps()
+	if chaos {
+		// Short runs can end before the ticker ever fires; take a final
+		// snapshot so the restore check always has a durable file,
+		// retrying past the injected write errors (every third fails).
+		for i := 0; i < 4; i++ {
+			snapAttempts++
+			if err := solver.SnapshotFile(snapPath); err != nil {
+				snapFailures++
+				continue
+			}
+			break
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+
+	// The serve-level coalescing counter lives behind /stats.
+	var engStats serve.EngineJSON
+	if resp, err := http.Get(ts.URL + "/stats"); err == nil {
+		err = json.NewDecoder(resp.Body).Decode(&engStats)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding /stats: %w", err)
+		}
+	} else {
+		return err
 	}
 
 	stats := solver.Stats()
@@ -564,6 +701,29 @@ func serveLoadTest(out string, requests, clients int) error {
 		TablesReused:        stats.TablesReused,
 		PoolsBuilt:          stats.PoolsBuilt,
 		PoolsReused:         stats.PoolsReused,
+		Coalesced:           engStats.Coalesced,
+	}
+	if chaos {
+		ch := &ChaosReport{
+			MapperPanics:       stats.MapperPanics,
+			Failed500s:         failed500s.Load(),
+			Succeeded:          succeeded.Load(),
+			DelayedSimulations: fault.Hits(fault.M3ESimulate) / 512,
+			SnapshotAttempts:   snapAttempts,
+			SnapshotFailures:   snapFailures,
+			SnapshotsTaken:     stats.SnapshotsTaken,
+		}
+		// The surviving snapshot (if any write ever succeeded) must still
+		// restore cleanly — write-error injection may abort snapshots but
+		// must never corrupt the durable file.
+		if ch.SnapshotsTaken > 0 {
+			fresh := magma.NewSolver(magma.SolverOptions{})
+			if err := fresh.RestoreFile(snapPath); err == nil {
+				ch.SnapshotRestoreOK = true
+				ch.ProblemsRestored = fresh.Stats().ProblemsRestored
+			}
+		}
+		rep.Chaos = ch
 	}
 
 	f, err := os.Create(out)
@@ -582,8 +742,14 @@ func serveLoadTest(out string, requests, clients int) error {
 	fmt.Printf("throughput:             %.2f req/s (%.2fs wall)\n", rep.RequestsPerSec, elapsed)
 	fmt.Printf("cross-request hit rate: %.1f%% (cache hit rate %.1f%%)\n",
 		100*rep.CrossRequestHitRate, 100*rep.CacheHitRate)
-	fmt.Printf("tables built/reused:    %d/%d; pools built/reused: %d/%d\n",
-		rep.TablesBuilt, rep.TablesReused, rep.PoolsBuilt, rep.PoolsReused)
+	fmt.Printf("tables built/reused:    %d/%d; pools built/reused: %d/%d; coalesced: %d\n",
+		rep.TablesBuilt, rep.TablesReused, rep.PoolsBuilt, rep.PoolsReused, rep.Coalesced)
+	if ch := rep.Chaos; ch != nil {
+		fmt.Printf("chaos: %d mapper panics recovered (%d requests 500, %d ok), %d delayed batches\n",
+			ch.MapperPanics, ch.Failed500s, ch.Succeeded, ch.DelayedSimulations)
+		fmt.Printf("chaos: snapshots %d/%d succeeded (%d injected write errors), restore ok: %v (%d problems)\n",
+			int(ch.SnapshotsTaken), ch.SnapshotAttempts, ch.SnapshotFailures, ch.SnapshotRestoreOK, ch.ProblemsRestored)
+	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
 }

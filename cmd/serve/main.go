@@ -8,6 +8,16 @@
 //	serve                      # listen on :8080
 //	serve -addr :9000 -maxproblems 128 -cachesize 131072
 //	serve -jobtimeout 2m -maxjobs 512
+//	serve -snapshot-dir /var/lib/magma -snapshot-interval 30s
+//
+// With -snapshot-dir the server is crash-safe: it periodically writes
+// the Solver's warm state (schedule-cache entries and warm-start seeds)
+// to an atomically-replaced snapshot file, writes a final snapshot on
+// graceful shutdown, and restores the newest snapshot on boot — so a
+// restarted server answers a repeated request mix with cross-request
+// cache hits from its first generation. A corrupt or version-mismatched
+// snapshot is rejected whole and logged; the server boots cold instead
+// of crashing.
 //
 // Endpoints:
 //
@@ -34,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -50,6 +61,8 @@ func main() {
 		jobTimeout  = flag.Duration("jobtimeout", 10*time.Minute, "per-search wall-clock cap for /optimize and /jobs; request timeout_ms can only shorten it (0 = no cap)")
 		maxJobs     = flag.Int("maxjobs", 0, "retained finished jobs bound (0 = default 256)")
 		maxRunning  = flag.Int("maxrunning", 0, "concurrently running async jobs bound; excess submissions get 429 (0 = default 2x GOMAXPROCS, min 4)")
+		snapDir     = flag.String("snapshot-dir", "", "directory for durable warm-state snapshots; empty disables snapshotting")
+		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "period between background snapshots (with -snapshot-dir)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -60,6 +73,13 @@ func main() {
 		CacheSize:   *cacheSize,
 		WarmLimit:   *warmLimit,
 	})
+	var snapPath string
+	stopSnapshots := func() {}
+	if *snapDir != "" {
+		snapPath = filepath.Join(*snapDir, "solver.snap")
+		restoreSnapshot(solver, snapPath)
+		stopSnapshots = startSnapshots(solver, snapPath, *snapEvery)
+	}
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: logRequests(serve.NewWith(solver, serve.Config{
@@ -84,6 +104,16 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		// A last snapshot after the listener drains, so warm state built
+		// by the final requests survives the restart.
+		stopSnapshots()
+		if snapPath != "" {
+			if err := solver.SnapshotFile(snapPath); err != nil {
+				log.Printf("final snapshot: %v", err)
+			} else {
+				log.Printf("final snapshot written to %s", snapPath)
+			}
+		}
 	}()
 
 	log.Printf("listening on %s (shared solver: one engine for all requests)", *addr)
@@ -91,6 +121,56 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// restoreSnapshot loads the previous run's warm state. Every failure is
+// survivable: a missing file is the ordinary first boot, and a corrupt
+// or version-mismatched snapshot is rejected whole by the persist layer
+// — log it and boot cold, never crash on bad bytes from disk.
+func restoreSnapshot(solver *magma.Solver, path string) {
+	switch err := solver.RestoreFile(path); {
+	case err == nil:
+		st := solver.Stats()
+		log.Printf("restored %d problems (%d cache entries) from %s",
+			st.ProblemsRestored, st.EntriesRestored, path)
+	case os.IsNotExist(err):
+		log.Printf("no snapshot at %s: cold start", path)
+	default:
+		log.Printf("snapshot %s rejected (%v): cold start", path, err)
+	}
+}
+
+// startSnapshots writes a snapshot every interval on a background
+// goroutine; the returned stop waits for any in-flight write, so the
+// caller can safely take the final shutdown snapshot after it.
+func startSnapshots(solver *magma.Solver, path string, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				if err := solver.SnapshotFile(path); err != nil {
+					// Transient disk trouble must not kill the server; the
+					// next tick retries and the previous snapshot is intact
+					// (writes are atomic temp+rename).
+					log.Printf("snapshot: %v", err)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
 }
 
 // logRequests logs one line per request: method, path, status, elapsed.

@@ -19,13 +19,22 @@ import "magma/internal/sim"
 // re-hash of just the dirty cores (FingerprintUpdate), skipping the
 // full decode.
 //
-// Fingerprints are in-memory identities, only comparable within one
-// problem (same group and platform): the hash covers the queue
-// contents, not the dimensions, and the layout may change across
-// versions (it is never persisted — unlike TableIdentity, which is).
+// Fingerprints are identities only comparable within one problem (same
+// group and platform): the hash covers the queue contents, not the
+// dimensions. The layout may change across versions, so any durable
+// artifact carrying fingerprints (internal/persist solver snapshots)
+// records FingerprintLayout in its header and is rejected on mismatch
+// rather than mixing incompatible hashes.
 type Fingerprint struct {
 	A, B uint64
 }
+
+// FingerprintLayout is the fingerprint layout version number (v2:
+// per-core lane hashes folded in core order, PR 5). Bump it whenever
+// hashQueue or CombineCoreHashes changes so persisted fingerprints from
+// the old layout are rejected instead of silently missing (or worse,
+// colliding with) the new hashes.
+const FingerprintLayout = 2
 
 // The two lanes use distinct odd multipliers and offsets so a collision
 // in one lane is uncorrelated with the other: lane A is standard 64-bit

@@ -29,6 +29,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
@@ -86,6 +87,22 @@ type Stats struct {
 	// completed run; Cache.CrossHits is the shared-across-runs payoff
 	// (hits on entries a different run inserted).
 	Cache m3e.CacheStats
+	// SnapshotsTaken counts successful warm-state snapshot
+	// serializations (Solver.Snapshot and the periodic snapshotter call
+	// NoteSnapshot after each durable write).
+	SnapshotsTaken uint64
+	// ProblemsRestored / EntriesRestored count what Restore loaded from
+	// a snapshot: problem stores handed to the engine and the fitness
+	// entries inside them. Restored stores answer requests from
+	// generation one — every hit on them counts in Cache.CrossHits.
+	ProblemsRestored uint64
+	EntriesRestored  uint64
+	// MapperPanics counts runs failed by a panic recovered from a mapper
+	// callback (m3e.MapperPanicError). The engine itself stays
+	// consistent — leased pools and cache scratch are returned on the
+	// panic path — so the counter growing while Searches also grows is
+	// the expected shape of a misbehaving registered mapper.
+	MapperPanics uint64
 }
 
 // problemKey identifies one cached problem: the analyzer-visible
@@ -131,6 +148,13 @@ type Engine struct {
 	problems map[problemKey]*problemState
 	order    []problemKey // FIFO eviction order of problems
 	stats    Stats
+	// restored holds snapshot-loaded fitness stores awaiting adoption:
+	// the engine cannot rebuild an analysis table from its content hash
+	// alone, so a restored store waits here until a request with the
+	// matching (table identity × objective) arrives and Problem adopts it
+	// as that entry's store. Pending stores are included in Export, so a
+	// restart before adoption does not lose them.
+	restored map[problemKey]*m3e.CacheStore
 }
 
 // New builds an engine.
@@ -142,6 +166,7 @@ func New(cfg Config) *Engine {
 		cfg:      cfg,
 		tables:   make(map[encoding.TableKey]*tableState),
 		problems: make(map[problemKey]*problemState),
+		restored: make(map[problemKey]*m3e.CacheStore),
 	}
 }
 
@@ -188,10 +213,17 @@ func (e *Engine) Problem(g workload.Group, pf platform.Platform, obj m3e.Objecti
 			e.tables[key.table] = ts
 		}
 		ts.refs++
+		store := m3e.NewCacheStore(e.cfg.CacheSize)
+		if rs, restored := e.restored[key]; restored {
+			// Adopt the snapshot-loaded store: this problem's first run
+			// starts with the previous process's memoized fitness entries.
+			store = rs
+			delete(e.restored, key)
+		}
 		st = &problemState{
 			tab:   ts,
 			obj:   obj,
-			store: m3e.NewCacheStore(e.cfg.CacheSize),
+			store: store,
 			pools: make(map[int][]*m3e.Pool),
 		}
 		e.problems[key] = st
@@ -375,11 +407,16 @@ func (h *ProblemHandle) RunCtx(ctx context.Context, opt m3e.Optimizer, o m3e.Opt
 		o.Scratch = fc
 	}
 	res, err := m3e.Run(h.st.prob, opt, o, seed)
+	h.eng.mu.Lock()
 	if err == nil {
-		h.eng.mu.Lock()
 		h.eng.stats.Searches++
 		h.eng.stats.Cache.Add(res.Cache)
-		h.eng.mu.Unlock()
+	} else {
+		var mpe *m3e.MapperPanicError
+		if errors.As(err, &mpe) {
+			h.eng.stats.MapperPanics++
+		}
 	}
+	h.eng.mu.Unlock()
 	return res, err
 }

@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	if err := Hit("nothing.armed"); err != nil {
+		t.Fatalf("disarmed Hit = %v, want nil", err)
+	}
+	if got := Hits("nothing.armed"); got != 0 {
+		t.Fatalf("Hits on disarmed point = %d, want 0", got)
+	}
+}
+
+func TestEnableDisableCounts(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	Enable("p", func() error { return boom })
+	defer Reset()
+	for i := 0; i < 3; i++ {
+		if err := Hit("p"); !errors.Is(err, boom) {
+			t.Fatalf("armed Hit = %v, want %v", err, boom)
+		}
+	}
+	if got := Hits("p"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+	// Other points stay disarmed while one is enabled.
+	if err := Hit("q"); err != nil {
+		t.Fatalf("unrelated Hit = %v, want nil", err)
+	}
+	Disable("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("Hit after Disable = %v, want nil", err)
+	}
+	Disable("p") // idempotent
+	if err := Hit("p"); err != nil {
+		t.Fatalf("Hit after double Disable = %v, want nil", err)
+	}
+}
+
+func TestEveryCadence(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	Enable("p", Every(3, func() error { return boom }))
+	defer Reset()
+	var fired int
+	for i := 0; i < 9; i++ {
+		if Hit("p") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Every(3) fired %d times over 9 hits, want 3", fired)
+	}
+}
+
+func TestPanicHookPropagates(t *testing.T) {
+	Reset()
+	Enable("p", func() error { panic("chaos") })
+	defer Reset()
+	defer func() {
+		if r := recover(); r != "chaos" {
+			t.Fatalf("recovered %v, want chaos", r)
+		}
+	}()
+	_ = Hit("p")
+	t.Fatal("Hit did not panic")
+}
+
+// TestConcurrentHits races Enable/Disable/Hit; the race detector is the
+// assertion.
+func TestConcurrentHits(t *testing.T) {
+	Reset()
+	defer Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = Hit("race.point")
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		Enable("race.point", func() error { return nil })
+		Disable("race.point")
+	}
+	wg.Wait()
+}

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"magma/internal/analyzer"
 	"magma/internal/encoding"
+	"magma/internal/fault"
 	"magma/internal/platform"
 	"magma/internal/rng"
 	"magma/internal/sim"
@@ -144,6 +146,9 @@ func (e *Evaluator) Evaluate(g encoding.Genome) (float64, error) {
 	if err := g.Validate(e.p.NumJobs(), e.p.NumAccels()); err != nil {
 		return 0, err
 	}
+	if err := fault.Hit(fault.M3ESimulate); err != nil {
+		return 0, err
+	}
 	encoding.DecodeInto(g, e.p.NumAccels(), &e.m)
 	res, err := e.sim.Run(e.p.Table, e.m)
 	if err != nil {
@@ -157,6 +162,9 @@ func (e *Evaluator) Evaluate(g encoding.Genome) (float64, error) {
 // representative straight from the mapping its fingerprint pass decoded,
 // so a cache miss still pays for exactly one decode.
 func (e *Evaluator) EvaluateMapping(m *sim.Mapping) (float64, error) {
+	if err := fault.Hit(fault.M3ESimulate); err != nil {
+		return 0, err
+	}
 	res, err := e.sim.Run(e.p.Table, *m)
 	if err != nil {
 		return 0, err
@@ -446,6 +454,14 @@ func (pl *Pool) evaluateMapped(maps []sim.Mapping, reps []int, fit []float64) {
 // each runs f(worker, i) for every i in [0, n), fanning out across the
 // pool's evaluators. Workers pull indices from a shared atomic counter;
 // f must write results only at index-addressed locations.
+//
+// A panic in f on a worker goroutine would be unrecoverable by the
+// caller (killing the process), so workers recover it and each re-
+// panics the first one — value and worker stack intact, as a
+// *workerPanic — on the calling goroutine once the batch drains, where
+// the run loop's guard converts it into a MapperPanicError. Remaining
+// workers finish their indices normally; fitness slots past the panic
+// are simply abandoned along with the failed run.
 func (pl *Pool) each(n int, f func(ev *Evaluator, i int)) {
 	w := len(pl.evs)
 	if w > n {
@@ -459,10 +475,22 @@ func (pl *Pool) each(n int, f func(ev *Evaluator, i int)) {
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	var wp *workerPanic
 	wg.Add(w)
 	for k := 0; k < w; k++ {
 		go func(ev *Evaluator) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					stack := debug.Stack()
+					pmu.Lock()
+					if wp == nil {
+						wp = &workerPanic{value: r, stack: stack}
+					}
+					pmu.Unlock()
+				}
+			}()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -473,6 +501,9 @@ func (pl *Pool) each(n int, f func(ev *Evaluator, i int)) {
 		}(pl.evs[k])
 	}
 	wg.Wait()
+	if wp != nil {
+		panic(wp)
+	}
 }
 
 // DefaultBudget is the evaluation's sampling budget (§VI-B).
@@ -500,7 +531,9 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := opt.Init(p, rng.New(seed)); err != nil {
+	if err := guard(opt.Name(), "Init", func() error {
+		return opt.Init(p, rng.New(seed))
+	}); err != nil {
 		return Result{}, fmt.Errorf("m3e: init %s: %w", opt.Name(), err)
 	}
 	pool := o.Pool
@@ -554,7 +587,19 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 			break
 		}
 		tAsk := time.Now()
-		batch := opt.Ask()
+		var batch []encoding.Genome
+		if err := guard(opt.Name(), "Ask", func() error {
+			// The injectable failure point fires inside the guard, so a
+			// panicking fault hook exercises exactly the recovery path a
+			// misbehaving mapper would.
+			if err := fault.Hit(fault.M3EAsk); err != nil {
+				return err
+			}
+			batch = opt.Ask()
+			return nil
+		}); err != nil {
+			return res, err
+		}
 		res.Phases.AskNs += time.Since(tAsk).Nanoseconds()
 		if len(batch) == 0 {
 			return Result{}, fmt.Errorf("m3e: %s returned an empty batch", opt.Name())
@@ -569,12 +614,17 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 			fit = make([]float64, len(batch))
 		}
 		fit = fit[:len(batch)]
-		if cache != nil {
-			cache.Evaluate(pool, batch, fit) // splits fingerprint/simulate into res.Phases itself
-		} else {
-			tSim := time.Now()
-			pool.Evaluate(batch, fit)
-			res.Phases.SimulateNs += time.Since(tSim).Nanoseconds()
+		if err := guard(opt.Name(), "Evaluate", func() error {
+			if cache != nil {
+				cache.Evaluate(pool, batch, fit) // splits fingerprint/simulate into res.Phases itself
+			} else {
+				tSim := time.Now()
+				pool.Evaluate(batch, fit)
+				res.Phases.SimulateNs += time.Since(tSim).Nanoseconds()
+			}
+			return nil
+		}); err != nil {
+			return res, err
 		}
 		for i, g := range batch {
 			res.Asked++
@@ -597,7 +647,12 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 			}
 		}
 		tTell := time.Now()
-		opt.Tell(batch, fit)
+		if err := guard(opt.Name(), "Tell", func() error {
+			opt.Tell(batch, fit)
+			return nil
+		}); err != nil {
+			return res, err
+		}
 		res.Phases.TellNs += time.Since(tTell).Nanoseconds()
 		generation++
 		res.Phases.Generations = generation

@@ -1,0 +1,60 @@
+package m3e
+
+import "magma/internal/encoding"
+
+// ExportedEntry is one memoized fitness leaving or entering a
+// CacheStore: the schedule fingerprint and its score. Run provenance is
+// deliberately not exported — run ids only distinguish insertions
+// within one process lifetime.
+type ExportedEntry struct {
+	FP      encoding.Fingerprint
+	Fitness float64
+}
+
+// Export returns the store's entries in FIFO insertion order, oldest
+// first — the order that, replayed through Import, reproduces the
+// store's eviction behavior. Safe for concurrent use: the snapshot is
+// taken under the store's read lock, so it is a consistent cut even
+// while runs keep inserting (entries landing after the cut simply
+// belong to the next snapshot).
+func (s *CacheStore) Export() []ExportedEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ExportedEntry, 0, len(s.entries))
+	emit := func(fp encoding.Fingerprint) {
+		if e, ok := s.entries[fp]; ok {
+			out = append(out, ExportedEntry{FP: fp, Fitness: e.fit})
+		}
+	}
+	if len(s.fifo) < s.capacity {
+		// The ring has never wrapped: fifo is already oldest-first.
+		for _, fp := range s.fifo {
+			emit(fp)
+		}
+		return out
+	}
+	// Wrapped ring: the oldest entry sits at next (the slot the next
+	// insertion would evict).
+	for _, fp := range s.fifo[s.next:] {
+		emit(fp)
+	}
+	for _, fp := range s.fifo[:s.next] {
+		emit(fp)
+	}
+	return out
+}
+
+// Import inserts previously exported entries, oldest first, attributing
+// them to run id 0 — an id beginRun never allocates — so every hit on a
+// restored entry counts as a cross-run hit, exactly like a hit on
+// another live run's insertion. Inserting replays FIFO order: when the
+// entries exceed this store's capacity the oldest are evicted first,
+// preserving the bound invariant. Safe for concurrent use, though it is
+// normally called on a fresh store before any run binds to it.
+func (s *CacheStore) Import(entries []ExportedEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		s.insertLocked(e.FP, e.Fitness, 0)
+	}
+}

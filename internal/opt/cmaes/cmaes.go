@@ -143,7 +143,7 @@ func (o *Optimizer) Ask() []encoding.Genome {
 		o.xs[k] = x
 		g, err := encoding.FromVector(x, o.nAccels)
 		if err != nil {
-			panic(err)
+			m3e.AbortRun(err) // cannot happen: vectors are even-length by construction
 		}
 		out[k] = g
 	}

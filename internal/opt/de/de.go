@@ -135,7 +135,7 @@ func (o *Optimizer) toGenomes(vs [][]float64) []encoding.Genome {
 	for i, v := range vs {
 		g, err := encoding.FromVector(v, o.nAccels)
 		if err != nil { // cannot happen: vectors are even-length by construction
-			panic(err)
+			m3e.AbortRun(err)
 		}
 		out[i] = g
 	}

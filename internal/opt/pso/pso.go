@@ -92,7 +92,7 @@ func (o *Optimizer) Ask() []encoding.Genome {
 	for i, v := range o.pos {
 		g, err := encoding.FromVector(v, o.nAccels)
 		if err != nil {
-			panic(err)
+			m3e.AbortRun(err) // cannot happen: vectors are even-length by construction
 		}
 		out[i] = g
 	}

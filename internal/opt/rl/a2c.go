@@ -98,7 +98,7 @@ func (o *A2C) Tell(_ []encoding.Genome, fitness []float64) {
 			// sampled distribution is re-derived so backprop has a tape).
 			pt, err := o.core.policy.Forward(s.obs)
 			if err != nil {
-				panic(err)
+				m3e.AbortRun(err)
 			}
 			probs := nn.Softmax(pt.Out)
 			dLogits := nn.SoftmaxBackward(probs, s.action, adv)
@@ -110,7 +110,7 @@ func (o *A2C) Tell(_ []encoding.Genome, fitness []float64) {
 
 			vt, err := o.core.critic.Forward(s.obs)
 			if err != nil {
-				panic(err)
+				m3e.AbortRun(err)
 			}
 			vErr := vt.Out[0] - rets[t]
 			o.core.critic.Backward(vt, []float64{2 * o.cfg.ValueCoef * vErr})

@@ -137,7 +137,7 @@ func (o *PPO) Tell(_ []encoding.Genome, fitness []float64) {
 		for _, s := range buf {
 			pt, err := o.core.policy.Forward(s.obs)
 			if err != nil {
-				panic(err)
+				m3e.AbortRun(err)
 			}
 			probs := nn.Softmax(pt.Out)
 			logP := nn.LogProb(probs, s.action)
@@ -160,7 +160,7 @@ func (o *PPO) Tell(_ []encoding.Genome, fitness []float64) {
 
 			vt, err := o.core.critic.Forward(s.obs)
 			if err != nil {
-				panic(err)
+				m3e.AbortRun(err)
 			}
 			vErr := vt.Out[0] - s.ret
 			o.core.critic.Backward(vt, []float64{2 * o.cfg.ValueCoef * vErr})

@@ -115,13 +115,13 @@ func (c *core) episode() (encoding.Genome, []step) {
 		obs := c.observe(j, load)
 		pt, err := c.policy.Forward(obs)
 		if err != nil {
-			panic(err)
+			m3e.AbortRun(err)
 		}
 		probs := nn.Softmax(pt.Out)
 		action := nn.SampleCategorical(probs, c.rng)
 		vt, err := c.critic.Forward(obs)
 		if err != nil {
-			panic(err)
+			m3e.AbortRun(err)
 		}
 		a := action / PriorityBuckets
 		b := action % PriorityBuckets

@@ -112,7 +112,7 @@ func (o *Optimizer) Ask() []encoding.Genome {
 		o.pending[k] = child
 		g, err := encoding.FromVector(child.x, o.nAccels)
 		if err != nil {
-			panic(err)
+			m3e.AbortRun(err) // cannot happen: vectors are even-length by construction
 		}
 		out[k] = g
 	}

@@ -1,0 +1,200 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"magma/internal/encoding"
+	"magma/internal/fault"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Problems: []Problem{
+			{
+				Table:     encoding.TableKey{A: 0x1122334455667788, B: 0x99aabbccddeeff00},
+				Objective: 0,
+				Entries: []Entry{
+					{FP: encoding.Fingerprint{A: 1, B: 2}, Fitness: 123.5},
+					{FP: encoding.Fingerprint{A: 3, B: 4}, Fitness: -7.25},
+					{FP: encoding.Fingerprint{A: 5, B: 6}, Fitness: 0},
+				},
+			},
+			{
+				Table:     encoding.TableKey{A: 42, B: 43},
+				Objective: 2,
+				Entries:   nil, // empty store snapshots round-trip too
+			},
+		},
+		Warm: []WarmTask{
+			{
+				Task: 1,
+				Seeds: []encoding.Genome{
+					{Accel: []int{0, 1, 2}, Prio: []float64{0.25, 0.5, 0.75}},
+					{Accel: []int{3, 0}, Prio: []float64{0.125, 0.875}},
+				},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Warm, got.Warm) {
+		t.Fatalf("warm round trip:\n got %+v\nwant %+v", got.Warm, want.Warm)
+	}
+	if len(got.Problems) != len(want.Problems) {
+		t.Fatalf("got %d problems, want %d", len(got.Problems), len(want.Problems))
+	}
+	for i := range want.Problems {
+		if got.Problems[i].Table != want.Problems[i].Table ||
+			got.Problems[i].Objective != want.Problems[i].Objective ||
+			!reflect.DeepEqual(append([]Entry{}, got.Problems[i].Entries...), append([]Entry{}, want.Problems[i].Entries...)) {
+			t.Fatalf("problem %d round trip:\n got %+v\nwant %+v", i, got.Problems[i], want.Problems[i])
+		}
+	}
+}
+
+// TestTruncatedRejected chops the serialized snapshot at a sweep of
+// offsets; every prefix must be rejected (ErrCorrupt), never parsed.
+func TestTruncatedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes accepted", cut, len(full))
+		} else if !errors.Is(err, ErrCorrupt) {
+			var ve *VersionError
+			if !errors.As(err, &ve) {
+				t.Fatalf("truncation at %d: error %v neither ErrCorrupt nor VersionError", cut, err)
+			}
+		}
+	}
+}
+
+// TestBitFlipRejected flips single bytes across the body; the checksum
+// (or a sanity bound) must reject every mutation that Read does not
+// fail structurally on first.
+func TestBitFlipRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for pos := 0; pos < len(full); pos += 3 {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0xa5
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("byte flip at %d of %d accepted", pos, len(full))
+		}
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// The three version fields sit right after the 8-byte magic.
+	for i, field := range []string{"format", "rng layout", "fingerprint layout"} {
+		mut := append([]byte(nil), full...)
+		mut[8+4*i] += 1 // bump the little-endian low byte
+		_, err := Read(bytes.NewReader(mut))
+		var ve *VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("%s bump: error %v, want *VersionError", field, err)
+		}
+		if ve.Field != field {
+			t.Fatalf("bumped %s but VersionError names %q", field, ve.Field)
+		}
+	}
+}
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "solver.snap")
+	want := sampleSnapshot()
+	if err := WriteAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second snapshot: rename must replace atomically.
+	want.Problems = want.Problems[:1]
+	if err := WriteAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Problems) != 1 {
+		t.Fatalf("got %d problems after overwrite, want 1", len(got.Problems))
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after atomic writes, want 1", len(entries))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope.snap"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v, want os.IsNotExist", err)
+	}
+}
+
+// TestInjectedWriteError verifies the fault.PersistWrite point aborts
+// the snapshot before anything lands on disk.
+func TestInjectedWriteError(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	boom := errors.New("disk on fire")
+	fault.Enable(fault.PersistWrite, func() error { return boom })
+	dir := t.TempDir()
+	path := filepath.Join(dir, "solver.snap")
+	if err := WriteAtomic(path, sampleSnapshot()); !errors.Is(err, boom) {
+		t.Fatalf("WriteAtomic under injected write error = %v, want %v", err, boom)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("injected write error left %d files behind", len(entries))
+	}
+}
+
+// TestInjectedTornWrite verifies the fault.PersistTear point leaves a
+// truncated snapshot at the destination — and that Read rejects it.
+func TestInjectedTornWrite(t *testing.T) {
+	fault.Reset()
+	defer fault.Reset()
+	boom := errors.New("power cut")
+	fault.Enable(fault.PersistTear, func() error { return boom })
+	path := filepath.Join(t.TempDir(), "solver.snap")
+	if err := WriteAtomic(path, sampleSnapshot()); !errors.Is(err, boom) {
+		t.Fatalf("WriteAtomic under injected tear = %v, want %v", err, boom)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("torn snapshot missing from destination: %v", err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("torn snapshot accepted by ReadFile")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn snapshot error = %v, want ErrCorrupt", err)
+	}
+}

@@ -33,6 +33,12 @@ const (
 	// mapping: bumping it (with the layout notes in DESIGN.md) is the
 	// deliberate way to break seed compatibility.
 	layoutV2 = 0x7c2ff0ab45b19d63
+	// Layout is the RNG layout version number (v2: splittable
+	// counter-based streams, PR 5). Durable artifacts that depend on the
+	// seed→result mapping — solver snapshots — record it in their
+	// headers so a layout bump invalidates them instead of silently
+	// mixing incompatible state.
+	Layout = 2
 )
 
 // mix is the SplitMix64 output permutation (fmix64 finalizer family).

@@ -314,8 +314,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if running := s.jobs.running(); running >= s.cfg.MaxRunning {
 		// Each running job is a CPU-bound search goroutine; past the cap
 		// we shed load instead of letting submissions starve the server.
-		writeErr(w, http.StatusTooManyRequests,
-			"%d jobs already running (limit %d): retry later or raise -maxrunning", running, s.cfg.MaxRunning)
+		writeOverloaded(w, running, s.cfg.MaxRunning,
+			fmt.Sprintf("%d jobs already running (limit %d): retry later or raise -maxrunning", running, s.cfg.MaxRunning))
 		return
 	}
 	// The job's context deliberately does NOT descend from r.Context():

@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -135,6 +136,15 @@ type EngineJSON struct {
 	CachesReused        uint64    `json:"caches_reused"`
 	Cache               CacheJSON `json:"cache"`
 	CrossRequestHitRate float64   `json:"cross_request_hit_rate"`
+	// Crash-safety and robustness counters: durable snapshots written,
+	// problems/entries loaded back on boot, mapper panics recovered into
+	// failed requests, and requests answered by another request's
+	// in-flight search (singleflight).
+	SnapshotsTaken   uint64 `json:"snapshots_taken"`
+	ProblemsRestored uint64 `json:"problems_restored"`
+	EntriesRestored  uint64 `json:"entries_restored"`
+	MapperPanics     uint64 `json:"mapper_panics"`
+	Coalesced        uint64 `json:"coalesced"`
 }
 
 func engineJSON(s magma.SolverStats) EngineJSON {
@@ -144,7 +154,18 @@ func engineJSON(s magma.SolverStats) EngineJSON {
 		CachesBuilt: s.CachesBuilt, CachesReused: s.CachesReused,
 		Cache:               cacheJSON(s.Cache),
 		CrossRequestHitRate: s.Cache.CrossHitRate(),
+		SnapshotsTaken:      s.SnapshotsTaken,
+		ProblemsRestored:    s.ProblemsRestored,
+		EntriesRestored:     s.EntriesRestored,
+		MapperPanics:        s.MapperPanics,
 	}
+}
+
+// engineView is engineJSON plus the serve-level coalescing counter.
+func (s *Server) engineView() EngineJSON {
+	v := engineJSON(s.solver.Stats())
+	v.Coalesced = s.flights.Coalesced()
+	return v
 }
 
 // OptimizeResponse is the POST /optimize reply (and the result payload
@@ -182,9 +203,10 @@ type Config struct {
 
 // Server is the HTTP facade over one shared Solver.
 type Server struct {
-	solver *magma.Solver
-	cfg    Config
-	jobs   *jobSet
+	solver  *magma.Solver
+	cfg     Config
+	jobs    *jobSet
+	flights *flightGroup
 }
 
 // New wraps a Solver with default Config. Every request runs against it
@@ -202,7 +224,7 @@ func NewWith(solver *magma.Solver, cfg Config) *Server {
 			cfg.MaxRunning = 4
 		}
 	}
-	return &Server{solver: solver, cfg: cfg, jobs: newJobSet(cfg.MaxJobs)}
+	return &Server{solver: solver, cfg: cfg, jobs: newJobSet(cfg.MaxJobs), flights: newFlightGroup()}
 }
 
 // Solver returns the shared solver (the load generator reads its stats
@@ -232,6 +254,27 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// retryAfter is the backoff the server suggests when shedding load. One
+// second is deliberately coarse: searches run for seconds, so an
+// immediate retry would meet the same full table.
+const retryAfter = time.Second
+
+// writeOverloaded is the 429 load-shedding contract: a Retry-After
+// header for standards-following clients plus a machine-readable body
+// (code "overloaded", retry_after_ms, current occupancy and the limit)
+// so programmatic callers can back off without parsing prose. README
+// documents the retry contract.
+func writeOverloaded(w http.ResponseWriter, running, limit int, detail string) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter/time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":          detail,
+		"code":           "overloaded",
+		"retry_after_ms": retryAfter.Milliseconds(),
+		"running":        running,
+		"limit":          limit,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
@@ -241,7 +284,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, engineJSON(s.solver.Stats()))
+	writeJSON(w, http.StatusOK, s.engineView())
 }
 
 // parseTask maps the wire task names onto models.Task (empty means the
@@ -374,7 +417,7 @@ func (s *Server) response(spec *runSpec, res magma.StreamResult, start time.Time
 		TotalSeconds:     res.TotalSeconds,
 		ThroughputGFLOPs: res.ThroughputGFLOPs,
 		Cache:            cacheJSON(res.Cache),
-		Engine:           engineJSON(s.solver.Stats()),
+		Engine:           s.engineView(),
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1e3,
 		Partial:          res.Partial,
 	}
@@ -403,19 +446,41 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// The request context threads all the way into the generation loop:
-	// a dropped connection or the per-request timeout aborts the search
-	// within one generation and returns the best-so-far prefix.
-	ctx := r.Context()
-	if spec.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, spec.timeout)
-		defer cancel()
+	// run executes the search under a context owned by its flight (the
+	// request context when uncoalesced). The per-request timeout wraps
+	// that context: a dropped connection or the deadline aborts the
+	// search within one generation and returns the best-so-far prefix.
+	run := func(ctx context.Context) (magma.StreamResult, error) {
+		if spec.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, spec.timeout)
+			defer cancel()
+		}
+		return s.solver.OptimizeStreamCtx(ctx, spec.wl, spec.pf, spec.opts)
 	}
-	res, err := s.solver.OptimizeStreamCtx(ctx, spec.wl, spec.pf, spec.opts)
+	var res magma.StreamResult
+	if coalescible(spec) {
+		// Identical in-flight requests share one search: the first runs,
+		// the rest attach and reuse its result (responses are guaranteed
+		// bit-identical — the flight key covers everything that affects
+		// the answer). The search survives until its last client leaves.
+		res, err, _ = s.flights.do(r.Context(), keyFor(spec), run)
+	} else {
+		// SharedWarm mutates the Solver's cross-request warm store; each
+		// such request must run (and record) on its own.
+		res, err = run(r.Context())
+	}
 	if err != nil {
+		var mpe *magma.MapperPanicError
 		code := http.StatusUnprocessableEntity
-		if ctx.Err() != nil {
+		switch {
+		case errors.As(err, &mpe):
+			// A mapper panic fails this run only; the Solver stays
+			// consistent and keeps serving (see magma.MapperPanicError).
+			code = http.StatusInternalServerError
+		case r.Context().Err() != nil,
+			errors.Is(err, context.Canceled),
+			errors.Is(err, context.DeadlineExceeded):
 			code = StatusClientClosedRequest
 		}
 		writeErr(w, code, "optimize: %v", err)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"magma"
+	"magma/internal/fault"
 	"magma/internal/serve"
 )
 
@@ -206,5 +207,104 @@ func TestServeBadRequests(t *testing.T) {
 				t.Errorf("no error field in %q", raw)
 			}
 		})
+	}
+}
+
+// TestServeMapperPanicReturns500 pins the panic-isolation contract at
+// the HTTP surface: an injected mapper panic fails its own request with
+// a 500, the server keeps serving, and the next identical request
+// succeeds with schedules bit-identical to an undisturbed server's.
+func TestServeMapperPanicReturns500(t *testing.T) {
+	baselineTS, _ := newTestServer(t)
+	resp, want, raw := post(t, baselineTS.URL, genReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", resp.StatusCode, raw)
+	}
+
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	ts, solver := newTestServer(t)
+	fault.Enable(fault.M3EAsk, fault.Every(2, func() error {
+		panic("injected mapper panic")
+	}))
+	resp2, _, raw2 := post(t, ts.URL, genReq)
+	if resp2.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked run: status %d, want 500 (%s)", resp2.StatusCode, raw2)
+	}
+	if !strings.Contains(raw2, "panicked") {
+		t.Errorf("500 body does not name the panic: %s", raw2)
+	}
+	fault.Reset()
+
+	resp3, got, raw3 := post(t, ts.URL, genReq)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("request after panic: status %d: %s", resp3.StatusCode, raw3)
+	}
+	if !reflect.DeepEqual(got.Groups, want.Groups) {
+		t.Error("request after a mapper panic diverged from the undisturbed baseline")
+	}
+	if st := solver.Stats(); st.MapperPanics != 1 {
+		t.Errorf("MapperPanics = %d, want 1", st.MapperPanics)
+	}
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats serve.EngineJSON
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapperPanics != 1 {
+		t.Errorf("/stats mapper_panics = %d, want 1", stats.MapperPanics)
+	}
+}
+
+// TestServeOverloadRetryContract pins the 429 shedding surface: a
+// Retry-After header plus a machine-readable JSON body (code
+// "overloaded", retry_after_ms, occupancy, limit) — the contract README
+// documents for programmatic backoff.
+func TestServeOverloadRetryContract(t *testing.T) {
+	solver := magma.NewSolver(magma.SolverOptions{})
+	ts := httptest.NewServer(serve.NewWith(solver, serve.Config{MaxRunning: 1}).Handler())
+	t.Cleanup(ts.Close)
+
+	// Occupy the single slot with a slow async job.
+	long := `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":8},
+	  "options":{"budget_per_group":100000,"seed":1}}`
+	id := submitJob(t, ts.URL, long)
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+		// Wait out the cancellation so the search goroutine is gone
+		// before the test's solver goes out of scope.
+		waitJob(t, ts.URL, id)
+	}()
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit past the cap: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response carries no Retry-After header")
+	}
+	var body struct {
+		Error        string `json:"error"`
+		Code         string `json:"code"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+		Running      int    `json:"running"`
+		Limit        int    `json:"limit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Code != "overloaded" || body.RetryAfterMS <= 0 || body.Running != 1 || body.Limit != 1 || body.Error == "" {
+		t.Errorf("429 body missing retry contract fields: %+v", body)
 	}
 }

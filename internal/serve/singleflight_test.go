@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"magma"
+	"magma/internal/fault"
+)
+
+// waitFor polls cond for up to ~2s; the flight map is internal state, so
+// these white-box tests synchronize on it directly.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+type flightOut struct {
+	res    magma.StreamResult
+	err    error
+	joined bool
+}
+
+// TestFlightGroupSharesOneRun: a follower attaching to an in-flight key
+// gets the leader's result, and run executes exactly once.
+func TestFlightGroupSharesOneRun(t *testing.T) {
+	g := newFlightGroup()
+	var key flightKey
+	key[0] = 1
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runs := 0
+	run := func(ctx context.Context) (magma.StreamResult, error) {
+		runs++ // single flight goroutine; no lock needed if runs == 1
+		close(started)
+		<-release
+		return magma.StreamResult{TotalGFLOPs: 42}, nil
+	}
+	leader := make(chan flightOut, 1)
+	go func() {
+		res, err, joined := g.do(context.Background(), key, run)
+		leader <- flightOut{res, err, joined}
+	}()
+	<-started
+	follower := make(chan flightOut, 1)
+	go func() {
+		res, err, joined := g.do(context.Background(), key, run)
+		follower <- flightOut{res, err, joined}
+	}()
+	waitFor(t, "follower to attach", func() bool { return g.Coalesced() == 1 })
+	close(release)
+	l, f := <-leader, <-follower
+	if l.err != nil || f.err != nil {
+		t.Fatalf("flight errors: leader %v, follower %v", l.err, f.err)
+	}
+	if l.joined || !f.joined {
+		t.Errorf("joined flags: leader %v, follower %v; want false, true", l.joined, f.joined)
+	}
+	if runs != 1 {
+		t.Errorf("run executed %d times for one flight", runs)
+	}
+	if l.res.TotalGFLOPs != 42 || f.res.TotalGFLOPs != 42 {
+		t.Errorf("results not shared: leader %+v, follower %+v", l.res, f.res)
+	}
+	if g.inflight() != 0 {
+		t.Errorf("%d flights left after completion", g.inflight())
+	}
+}
+
+// TestFlightGroupRefcountedCancellation: the shared search dies only
+// when its *last* client detaches — a leader's disconnect must not
+// abort the followers, and the final client gets the best-so-far
+// partial result, exactly like the uncoalesced cancel path.
+func TestFlightGroupRefcountedCancellation(t *testing.T) {
+	g := newFlightGroup()
+	var key flightKey
+	key[7] = 9
+	runCtx := make(chan context.Context, 1)
+	run := func(ctx context.Context) (magma.StreamResult, error) {
+		runCtx <- ctx
+		<-ctx.Done()
+		return magma.StreamResult{Partial: true}, nil
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	leader := make(chan flightOut, 1)
+	go func() {
+		res, err, joined := g.do(ctx1, key, run)
+		leader <- flightOut{res, err, joined}
+	}()
+	sctx := <-runCtx
+	follower := make(chan flightOut, 1)
+	go func() {
+		res, err, joined := g.do(ctx2, key, run)
+		follower <- flightOut{res, err, joined}
+	}()
+	waitFor(t, "follower to attach", func() bool { return g.Coalesced() == 1 })
+
+	cancel1()
+	l := <-leader
+	if l.err != context.Canceled {
+		t.Errorf("detached leader returned %v, want context.Canceled", l.err)
+	}
+	if sctx.Err() != nil {
+		t.Error("leader disconnect cancelled a search a follower still wants")
+	}
+
+	cancel2()
+	f := <-follower
+	if f.err != nil || !f.res.Partial {
+		t.Errorf("last client got (%+v, %v), want best-so-far partial result", f.res, f.err)
+	}
+	if sctx.Err() == nil {
+		t.Error("search context still alive after the last client left")
+	}
+	if g.inflight() != 0 {
+		t.Errorf("%d flights left after cancellation", g.inflight())
+	}
+}
+
+// TestServeCoalescesIdenticalRequests drives coalescing over HTTP: a
+// slow leader plus three identical followers produce one underlying
+// search, four identical 200s, and coalesced = 3 in the stats.
+func TestServeCoalescesIdenticalRequests(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	// Stretch the search so the followers reliably attach mid-flight.
+	fault.Enable(fault.M3ESimulate, func() error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	solver := magma.NewSolver(magma.SolverOptions{})
+	srv := New(solver)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"generate":{"task":"Mix","num_jobs":16,"group_size":16,"seed":5},
+	  "platform":"S2","options":{"budget_per_group":600,"seed":3}}`
+	type reply struct {
+		code int
+		resp OptimizeResponse
+	}
+	postOne := func(out chan<- reply) {
+		resp, err := http.Post(ts.URL+"/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			out <- reply{}
+			return
+		}
+		defer resp.Body.Close()
+		r := reply{code: resp.StatusCode}
+		_ = json.NewDecoder(resp.Body).Decode(&r.resp)
+		out <- r
+	}
+	leader := make(chan reply, 1)
+	go postOne(leader)
+	waitFor(t, "leader flight to register", func() bool { return srv.flights.inflight() == 1 })
+
+	const followers = 3
+	followed := make(chan reply, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postOne(followed)
+		}()
+	}
+	wg.Wait()
+	replies := []reply{<-leader}
+	for i := 0; i < followers; i++ {
+		replies = append(replies, <-followed)
+	}
+	for i, r := range replies {
+		if r.code != http.StatusOK {
+			t.Fatalf("reply %d: status %d", i, r.code)
+		}
+		if !reflect.DeepEqual(r.resp.Groups, replies[0].resp.Groups) {
+			t.Errorf("reply %d returned different schedules", i)
+		}
+	}
+	if got := srv.flights.Coalesced(); got != followers {
+		t.Errorf("coalesced = %d, want %d", got, followers)
+	}
+	if st := solver.Stats(); st.Searches != 1 {
+		t.Errorf("engine ran %d searches for %d identical requests, want 1", st.Searches, followers+1)
+	}
+	// The counter is on the wire in both the response and /stats.
+	if replies[1].resp.Engine.Coalesced == 0 {
+		t.Error("response engine stats report zero coalesced requests")
+	}
+}
+
+// TestServeSharedWarmSkipsCoalescing: SharedWarm requests mutate the
+// cross-request warm store, so two concurrent identical ones must both
+// run (coalescing them would drop one request's Record).
+func TestServeSharedWarmSkipsCoalescing(t *testing.T) {
+	spec := &runSpec{opts: magma.StreamOptions{SharedWarm: true}}
+	if coalescible(spec) {
+		t.Fatal("SharedWarm request reported as coalescible")
+	}
+	spec.opts.SharedWarm = false
+	if !coalescible(spec) {
+		t.Fatal("plain request reported as non-coalescible")
+	}
+}

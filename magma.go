@@ -168,6 +168,15 @@ type Options struct {
 // Options.Cache).
 type CacheStats = m3e.CacheStats
 
+// MapperPanicError reports a panic recovered from a mapper callback
+// (Init, Ask, Tell, or an evaluation it drove), carrying the mapper
+// name, the callback, the panic value and the stack captured at the
+// panic site. A panicking mapper — including third-party Registered
+// ones — fails only its own Optimize call: the Solver it ran on stays
+// consistent and subsequent calls (same problem, same seed) return
+// bit-identical results. Detect it with errors.As.
+type MapperPanicError = m3e.MapperPanicError
+
 // PhaseTimings breaks a search's wall-clock down per generation phase:
 // candidate generation (ask), the cache's fingerprint pass, simulation,
 // and selection+breeding (tell). See Schedule.Phases.

@@ -1,0 +1,116 @@
+package magma
+
+import (
+	"io"
+
+	"magma/internal/models"
+	optmagma "magma/internal/opt/magma"
+	"magma/internal/persist"
+)
+
+// Snapshot serializes the Solver's durable warm state — every cached
+// problem's fingerprint→fitness entries (keyed by stable table
+// identity × objective) and the shared warm-start seeds — in the
+// versioned, checksummed binary format of internal/persist. A Solver
+// restored from the snapshot answers a repeated request mix with a
+// nonzero cross-request hit rate from its very first generation, with
+// results bit-identical to a cold run (fitness is a pure function of
+// the schedule; only wall-clock changes).
+//
+// The snapshot is a consistent cut per problem store, safe to take
+// while searches run. Ephemeral state — evaluator pools, cache scratch,
+// in-flight runs, reuse counters — is deliberately not persisted.
+func (s *Solver) Snapshot(w io.Writer) error {
+	if err := persist.Write(w, s.buildSnapshot()); err != nil {
+		return err
+	}
+	s.eng.NoteSnapshot()
+	return nil
+}
+
+// SnapshotFile writes a snapshot durably to path: serialize to a temp
+// file in the same directory, fsync, rename over the destination — so a
+// crash mid-snapshot leaves the previous snapshot intact, never a torn
+// file. Counts in SolverStats.SnapshotsTaken on success.
+func (s *Solver) SnapshotFile(path string) error {
+	if err := persist.WriteAtomic(path, s.buildSnapshot()); err != nil {
+		return err
+	}
+	s.eng.NoteSnapshot()
+	return nil
+}
+
+func (s *Solver) buildSnapshot() *persist.Snapshot {
+	snap := &persist.Snapshot{Problems: s.eng.Export()}
+	for _, t := range s.warm.export() {
+		snap.Warm = append(snap.Warm, persist.WarmTask{Task: uint8(t.Task), Seeds: t.Seeds})
+	}
+	return snap
+}
+
+// Restore loads a snapshot into the Solver, normally at boot before
+// traffic. Restored problem state waits keyed by table identity until a
+// request with matching content arrives, then serves its memoized
+// fitness entries from generation one (every hit counts as a cross-run
+// hit); warm-start seeds replay into the shared store oldest-first.
+//
+// A snapshot that is corrupt (torn write, bad checksum — persist.
+// ErrCorrupt) or written under an incompatible format, RNG layout or
+// fingerprint layout (*persist.VersionError) is rejected whole and the
+// Solver is left exactly as it was: the caller should log and boot
+// cold. Stale layouts are never reinterpreted.
+func (s *Solver) Restore(r io.Reader) error {
+	snap, err := persist.Read(r)
+	if err != nil {
+		return err
+	}
+	s.load(snap)
+	return nil
+}
+
+// RestoreFile is Restore from a snapshot file. A missing file satisfies
+// os.IsNotExist — the ordinary cold start, distinguishable from a
+// rejected snapshot.
+func (s *Solver) RestoreFile(path string) error {
+	snap, err := persist.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s.load(snap)
+	return nil
+}
+
+func (s *Solver) load(snap *persist.Snapshot) {
+	s.eng.Restore(snap.Problems)
+	tasks := make([]optmagma.ExportedTask, 0, len(snap.Warm))
+	for _, wt := range snap.Warm {
+		tasks = append(tasks, optmagma.ExportedTask{Task: models.Task(wt.Task), Seeds: wt.Seeds})
+	}
+	s.warm.import_(tasks)
+}
+
+// RestoreSolver builds a Solver and loads a snapshot into it — the
+// one-call boot path for servers. On any restore error the partially
+// built Solver is discarded and the error returned; boot a fresh
+// NewSolver instead (cold start).
+func RestoreSolver(r io.Reader, o SolverOptions) (*Solver, error) {
+	s := NewSolver(o)
+	if err := s.Restore(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// export snapshots the warm store under its lock (deep copies).
+func (w *WarmStore) export() []optmagma.ExportedTask {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inner.Export()
+}
+
+// import_ replays exported seeds under the lock, oldest first.
+func (w *WarmStore) import_(tasks []optmagma.ExportedTask) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inner.Import(tasks)
+}
