@@ -39,6 +39,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -110,6 +111,41 @@ type Report struct {
 	// the tell phase and incremental fingerprints shrink the fingerprint
 	// phase. The multi-core CI job fails if this section goes missing.
 	PhaseBreakdown PhaseBreakdown `json:"phase_breakdown"`
+	// BoundPruneRate is the fraction of distinct candidates the opt-in
+	// analytical lower bound (Options.Bound) proved unable to reach the
+	// elite set and so never simulated, over a full cached MAGMA search
+	// on the standard mix. Results are bit-identical with pruning on or
+	// off; the CI bench job fails if this field is missing or zero.
+	BoundPruneRate float64 `json:"bound_prune_rate"`
+	// Bound is the pruned-vs-unpruned comparison behind BoundPruneRate.
+	Bound BoundReport `json:"bound"`
+}
+
+// BoundReport compares one full cached MAGMA search with and without
+// Options.Bound at the same seed and budget. The search is identical
+// either way (same best schedule, same convergence curve); only the
+// simulator traffic and the generation wall-clock change.
+type BoundReport struct {
+	Mapper    string `json:"mapper"`
+	GroupSize int    `json:"group_size"`
+	Budget    int    `json:"budget"`
+	// Checked / Pruned count distinct candidates that reached the bound
+	// pass and those it proved hopeless.
+	Checked uint64 `json:"checked"`
+	Pruned  uint64 `json:"pruned"`
+	// OffNsPerGen / OnNsPerGen are full-generation wall clocks (ask +
+	// fingerprint + bound + simulate + tell) without and with pruning;
+	// GenSpeedup is their ratio. The multi-core CI job gates the
+	// bound-on time at no worse than bound-off.
+	OffNsPerGen float64 `json:"off_ns_per_gen"`
+	OnNsPerGen  float64 `json:"on_ns_per_gen"`
+	GenSpeedup  float64 `json:"gen_speedup"`
+	// BoundNsPerGen is what the pass itself costs per generation — the
+	// overhead the pruned simulations have to buy back.
+	BoundNsPerGen float64 `json:"bound_ns_per_gen"`
+	// PruneRateByGroupSize runs the same bound-on search across group
+	// sizes (the evidence behind DESIGN.md's prune-rate table).
+	PruneRateByGroupSize map[string]float64 `json:"prune_rate_by_group_size"`
 }
 
 // PhaseBreakdown is one per-phase wall-clock comparison across worker
@@ -447,6 +483,69 @@ func main() {
 		rep.EffectiveBudget.DistinctStretch = float64(eff.Cache.Misses) / float64(base.Cache.Misses)
 	}
 
+	// Analytical pruning: the same cached MAGMA search on the standard
+	// mix with and without Options.Bound. The run is bit-identical either
+	// way — bench verifies that here — so the comparison isolates the
+	// third fast path's effect on simulator traffic and generation time.
+	genNs := func(res m3e.Result) float64 {
+		ph := res.Phases
+		if ph.Generations == 0 {
+			return 0
+		}
+		return float64(ph.AskNs+ph.FingerprintNs+ph.BoundNs+ph.SimulateNs+ph.TellNs) / float64(ph.Generations)
+	}
+	boundOff, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{
+		Budget: m3e.DefaultBudget, Cache: true,
+	}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boundOn, err := m3e.Run(prob, optmagma.New(optmagma.Config{}), m3e.Options{
+		Budget: m3e.DefaultBudget, Cache: true, Bound: true,
+	}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if boundOn.BestFitness != boundOff.BestFitness || !reflect.DeepEqual(boundOn.Curve, boundOff.Curve) {
+		log.Fatal("bound pruning changed the search: best/curve diverged from the unpruned run")
+	}
+	rep.BoundPruneRate = boundOn.Cache.BoundPruneRate()
+	rep.Bound = BoundReport{
+		Mapper:               "MAGMA",
+		GroupSize:            groupSize,
+		Budget:               m3e.DefaultBudget,
+		Checked:              boundOn.Cache.BoundChecked,
+		Pruned:               boundOn.Cache.BoundPruned,
+		OffNsPerGen:          genNs(boundOff),
+		OnNsPerGen:           genNs(boundOn),
+		BoundNsPerGen:        float64(boundOn.Phases.BoundNs) / float64(boundOn.Phases.Generations),
+		PruneRateByGroupSize: map[string]float64{},
+	}
+	if rep.Bound.OnNsPerGen > 0 {
+		rep.Bound.GenSpeedup = rep.Bound.OffNsPerGen / rep.Bound.OnNsPerGen
+	}
+	for _, gs := range []int{16, 48, 100} {
+		if gs == groupSize {
+			rep.Bound.PruneRateByGroupSize[fmt.Sprint(gs)] = rep.BoundPruneRate
+			continue
+		}
+		wgs, err := workload.Generate(workload.Config{Task: models.Mix, NumJobs: gs, GroupSize: gs, Seed: 51})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gsProb, err := m3e.NewProblem(wgs.Groups[0], platform.S2().WithBW(16), m3e.Throughput)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m3e.Run(gsProb, optmagma.New(optmagma.Config{}), m3e.Options{
+			Budget: m3e.DefaultBudget, Cache: true, Bound: true,
+		}, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Bound.PruneRateByGroupSize[fmt.Sprint(gs)] = res.Cache.BoundPruneRate()
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -476,6 +575,14 @@ func main() {
 	eb := rep.EffectiveBudget
 	fmt.Printf("effective budget (%s, group %d, budget %d): %d -> %d distinct schedules (%.2fx, %d asked)\n",
 		eb.Mapper, eb.GroupSize, eb.Budget, eb.BaselineDistinct, eb.EffectiveDistinct, eb.DistinctStretch, eb.EffectiveAsked)
+	bd := rep.Bound
+	fmt.Printf("bound pruning (%s, group %d, budget %d): %.1f%% of distinct candidates pruned (%d of %d checked)\n",
+		bd.Mapper, bd.GroupSize, bd.Budget, 100*rep.BoundPruneRate, bd.Pruned, bd.Checked)
+	fmt.Printf("bound generation time: %.0f ns off -> %.0f ns on (%.2fx; bound pass %.0f ns/gen)\n",
+		bd.OffNsPerGen, bd.OnNsPerGen, bd.GenSpeedup, bd.BoundNsPerGen)
+	for _, gs := range []string{"16", "48", "100"} {
+		fmt.Printf("bound prune rate group %-4s %5.1f%%\n", gs+":", 100*bd.PruneRateByGroupSize[gs])
+	}
 	fmt.Printf("wrote %s\n", *out)
 }
 

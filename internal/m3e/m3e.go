@@ -256,6 +256,21 @@ type VariationTracker interface {
 	Variations() []VariationInfo
 }
 
+// EliteSelector is implemented by optimizers whose Tell consumes the
+// reported fitness values only through the identity and order of the
+// top-k ranked candidates: any change to values strictly below the
+// k-th best (that keeps them strictly below it) must leave the
+// optimizer's state bit-identical. EliteCount returns that k for a
+// batch of told evaluated genomes. The contract is what makes
+// bound-based pruning (Options.Bound) selection-safe: a candidate
+// whose fitness upper bound is already below the k-th best known-exact
+// value of the batch can be assigned the bound instead of being
+// simulated without perturbing selection. Optimizers that do not
+// implement the interface are never pruned.
+type EliteSelector interface {
+	EliteCount(told int) int
+}
+
 // Result summarizes one search run.
 type Result struct {
 	Method      string
@@ -288,8 +303,12 @@ type Result struct {
 type PhaseTimings struct {
 	AskNs         int64 `json:"ask_ns"`
 	FingerprintNs int64 `json:"fingerprint_ns"`
-	SimulateNs    int64 `json:"simulate_ns"`
-	TellNs        int64 `json:"tell_ns"`
+	// BoundNs is the analytical-bound pass (Options.Bound only): the
+	// incremental per-core roofline update plus the elite-floor prune
+	// scan that decides which representatives skip the simulator.
+	BoundNs    int64 `json:"bound_ns"`
+	SimulateNs int64 `json:"simulate_ns"`
+	TellNs     int64 `json:"tell_ns"`
 	// Generations counts completed Ask/Tell rounds.
 	Generations int `json:"generations"`
 }
@@ -298,6 +317,7 @@ type PhaseTimings struct {
 func (p *PhaseTimings) Add(o PhaseTimings) {
 	p.AskNs += o.AskNs
 	p.FingerprintNs += o.FingerprintNs
+	p.BoundNs += o.BoundNs
 	p.SimulateNs += o.SimulateNs
 	p.TellNs += o.TellNs
 	p.Generations += o.Generations
@@ -371,6 +391,26 @@ type Options struct {
 	// goroutine, so it must be fast and must not block; a slow observer
 	// stalls the search itself.
 	Observer func(Progress)
+	// Bound, with the cache on, arms the analytical-pruning fast path:
+	// after the fingerprint pass each new representative's makespan
+	// lower bound (per-core compute roofline + platform bandwidth
+	// roofline, updated incrementally from the operator dirty-core
+	// masks) is converted to a fitness upper bound, and candidates whose
+	// bound already misses the generation's elite floor — the k-th best
+	// known-exact fitness of the batch, k from the optimizer's
+	// EliteSelector — are assigned the bound instead of being simulated.
+	// Results stay bit-identical to the unpruned run at any worker
+	// count: a pruned candidate can never rank above the elite floor,
+	// never beats the run's best-so-far, and its (non-exact) fitness is
+	// never inserted into the cache store. Optimizers that do not
+	// implement EliteSelector run with pruning inert. An error without
+	// Cache/Store, like EffectiveBudget.
+	Bound bool
+	// Bounds optionally supplies prebuilt analytical-bound constants for
+	// this problem's table (a long-lived engine leases them per problem).
+	// Nil with Bound set means they are taken from the pool's memoized
+	// per-table constants.
+	Bounds *sim.Bounds
 	// EffectiveBudget, with the cache on, charges the sampling budget
 	// only for genomes that actually reach the simulator (cache misses)
 	// or fail validation; cache hits and in-batch duplicates are free.
@@ -437,17 +477,32 @@ func (pl *Pool) Evaluate(batch []encoding.Genome, fit []float64) {
 	})
 }
 
+// Bounds returns the analytical-bound constants for the pool's problem,
+// memoized on the first worker's simulator next to the other per-table
+// constants. The result is immutable and shared; leased pools carry it
+// warm across runs.
+func (pl *Pool) Bounds() *sim.Bounds {
+	ev := pl.evs[0]
+	return ev.sim.Bounds(ev.p.Table)
+}
+
 // evaluateMapped simulates the representatives reps (indices into maps)
-// across the pool, writing fitness by representative slot. The mappings
-// are read-only during the call; each slot is touched by exactly one
-// worker.
-func (pl *Pool) evaluateMapped(maps []sim.Mapping, reps []int, fit []float64) {
+// across the pool, writing the score of maps[reps[k]] into
+// fit[slots[k]] (fit[k] when slots is nil). The mappings are read-only
+// during the call; each slot is touched by exactly one worker. The
+// slots indirection exists for the bound-pruning path, which simulates
+// only a subset of a batch's representative slots.
+func (pl *Pool) evaluateMapped(maps []sim.Mapping, reps, slots []int, fit []float64) {
 	pl.each(len(reps), func(ev *Evaluator, k int) {
 		f, err := ev.EvaluateMapping(&maps[reps[k]])
 		if err != nil {
 			f = math.Inf(-1)
 		}
-		fit[k] = f
+		if slots != nil {
+			fit[slots[k]] = f
+		} else {
+			fit[k] = f
+		}
 	})
 }
 
@@ -556,11 +611,26 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 	if o.EffectiveBudget && cache == nil {
 		return Result{}, fmt.Errorf("m3e: EffectiveBudget requires the fitness cache (set Cache or Store)")
 	}
+	if o.Bound && cache == nil {
+		return Result{}, fmt.Errorf("m3e: Bound requires the fitness cache (set Cache or Store)")
+	}
 	res := Result{Method: opt.Name(), BestFitness: math.Inf(-1)}
 	res.Curve = make([]float64, 0, o.Budget)
 	if cache != nil {
 		if vt, ok := opt.(VariationTracker); ok {
 			cache.SetTracker(vt)
+		}
+		if o.Bound {
+			// Pruning is armed only for optimizers that certify (via
+			// EliteSelector) that sub-floor fitness values cannot perturb
+			// selection; anyone else runs with the bound path inert.
+			if es, ok := opt.(EliteSelector); ok {
+				b := o.Bounds
+				if b == nil {
+					b = pool.Bounds()
+				}
+				cache.SetBound(b, &res.BestFitness, es.EliteCount)
+			}
 		}
 		cache.phases = &res.Phases
 		// Drop the per-run hooks on every exit path (including error
@@ -569,6 +639,7 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 		// finished run's optimizer and Result (curve, samples) in memory.
 		defer func() {
 			cache.SetTracker(nil)
+			cache.SetBound(nil, nil, nil)
 			cache.phases = nil
 		}()
 	}

@@ -108,6 +108,21 @@ func (o *Optimizer) Tell(genomes []encoding.Genome, fitness []float64) {
 	o.pop = next
 }
 
+// EliteCount implements m3e.EliteSelector: Tell is purely elitist —
+// fitness only picks the top-nElite parents, so values strictly below
+// the nElite-th best never influence the next population. Replicates
+// Tell's nElite exactly.
+func (o *Optimizer) EliteCount(told int) int {
+	nElite := int(float64(o.cfg.Population) * o.cfg.EliteRatio)
+	if nElite < 2 {
+		nElite = 2
+	}
+	if nElite > told {
+		nElite = told
+	}
+	return nElite
+}
+
 // crossover performs a single-pivot exchange over the concatenated
 // [accel ++ prio] gene string — structure-oblivious by design.
 func (o *Optimizer) crossover(child, mom encoding.Genome) {
@@ -134,4 +149,7 @@ func (o *Optimizer) mutate(g encoding.Genome) {
 	}
 }
 
-var _ m3e.Optimizer = (*Optimizer)(nil)
+var (
+	_ m3e.Optimizer     = (*Optimizer)(nil)
+	_ m3e.EliteSelector = (*Optimizer)(nil)
+)

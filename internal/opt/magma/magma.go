@@ -161,6 +161,22 @@ func (o *Optimizer) Variations() []m3e.VariationInfo {
 	return o.prov
 }
 
+// EliteCount implements m3e.EliteSelector: Tell consumes the reported
+// fitness only through the top-nElite ranked candidates (the elites it
+// clones and breeds from), so values strictly below the nElite-th best
+// can never influence the next population. The formula replicates
+// Tell's nElite exactly.
+func (o *Optimizer) EliteCount(told int) int {
+	nElite := int(float64(o.cfg.Population) * o.cfg.EliteRatio)
+	if nElite < 2 {
+		nElite = 2
+	}
+	if nElite > told {
+		nElite = told
+	}
+	return nElite
+}
+
 // Init implements m3e.Optimizer.
 func (o *Optimizer) Init(p *m3e.Problem, rng *rng.Stream) error {
 	o.nJobs, o.nAccels = p.NumJobs(), p.NumAccels()
@@ -375,12 +391,21 @@ func (o *Optimizer) mutate(g encoding.Genome, st *rng.Stream, dirty []bool) {
 	}
 }
 
-// crossoverGen exchanges one genome's tail after a random pivot,
-// leaving the other genome untouched (Fig. 5c).
+// crossoverGen exchanges one genome's segment on one side of a random
+// pivot, leaving the other genome untouched (Fig. 5c). Either side is
+// an equally valid genome-wise crossover; copying the smaller one
+// touches fewer genes and so dirties fewer cores, which keeps more
+// children on the incremental fingerprint (and incremental bound) fast
+// paths. The pivot and genome-choice draws are unchanged — only which
+// side of the pivot is treated as the exchanged tail.
 func (o *Optimizer) crossoverGen(child, mom encoding.Genome, st *rng.Stream, dirty []bool) {
 	pivot := st.Intn(o.nJobs + 1)
+	lo, hi := pivot, o.nJobs
+	if pivot < o.nJobs-pivot {
+		lo, hi = 0, pivot
+	}
 	if st.Intn(2) == 0 {
-		for j := pivot; j < o.nJobs; j++ {
+		for j := lo; j < hi; j++ {
 			if child.Accel[j] != mom.Accel[j] {
 				dirty[child.Accel[j]] = true
 				dirty[mom.Accel[j]] = true
@@ -388,7 +413,7 @@ func (o *Optimizer) crossoverGen(child, mom encoding.Genome, st *rng.Stream, dir
 			}
 		}
 	} else {
-		for j := pivot; j < o.nJobs; j++ {
+		for j := lo; j < hi; j++ {
 			if child.Prio[j] != mom.Prio[j] {
 				dirty[child.Accel[j]] = true
 				child.Prio[j] = mom.Prio[j]
@@ -461,4 +486,5 @@ var (
 	_ m3e.Seeder           = (*Optimizer)(nil)
 	_ m3e.PoolBreeder      = (*Optimizer)(nil)
 	_ m3e.VariationTracker = (*Optimizer)(nil)
+	_ m3e.EliteSelector    = (*Optimizer)(nil)
 )

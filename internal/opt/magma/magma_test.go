@@ -117,6 +117,79 @@ func TestCrossoverGenTouchesOneGenome(t *testing.T) {
 	}
 }
 
+// TestCrossoverGenCopiesSmallerSide pins the variation-locality
+// optimization: of the two equally valid sides of the pivot, the
+// exchanged segment is always the smaller one — a contiguous prefix or
+// suffix covering at most half the jobs — so crossover-gen dirties as
+// few cores as possible and more children stay on the incremental
+// fingerprint/bound fast paths. The dirty mask must cover exactly the
+// cores the copied genes touch.
+func TestCrossoverGenCopiesSmallerSide(t *testing.T) {
+	const nJobs = 30
+	o, dad, mom := operatorHarness(t, nJobs)
+	// Fully distinguishable parents: every copied gene is observable.
+	for j := 0; j < nJobs; j++ {
+		dad.Accel[j], mom.Accel[j] = j%o.nAccels, (j+1)%o.nAccels
+		dad.Prio[j], mom.Prio[j] = 0.25, 0.75
+	}
+	sawPrefix, sawSuffix := false, false
+	for trial := 0; trial < 100; trial++ {
+		child := dad.Clone()
+		st := o.root.At(1005, uint64(trial))
+		dirty := make([]bool, o.nAccels)
+		o.crossoverGen(child, mom, &st, dirty)
+		changed := make([]bool, nJobs)
+		n := 0
+		wantDirty := make([]bool, o.nAccels)
+		for j := 0; j < nJobs; j++ {
+			if child.Accel[j] != dad.Accel[j] || child.Prio[j] != dad.Prio[j] {
+				changed[j] = true
+				n++
+				// Either genome's exchange dirties the job's placement
+				// core(s): old and new for accel genes, current for prio.
+				wantDirty[dad.Accel[j]] = true
+				wantDirty[child.Accel[j]] = true
+			}
+		}
+		if n == 0 {
+			continue // pivot 0 or nJobs: empty smaller side
+		}
+		if n > nJobs/2 {
+			t.Fatalf("trial %d: exchanged %d of %d genes — the larger pivot side", trial, n, nJobs)
+		}
+		// The exchanged genes must form one contiguous run anchored at an
+		// end of the gene string (a prefix [0,pivot) or suffix [pivot,n)).
+		first, last := -1, -1
+		for j, c := range changed {
+			if c {
+				if first == -1 {
+					first = j
+				}
+				last = j
+			}
+		}
+		if last-first+1 != n {
+			t.Fatalf("trial %d: exchanged genes not contiguous", trial)
+		}
+		switch {
+		case first == 0:
+			sawPrefix = true
+		case last == nJobs-1:
+			sawSuffix = true
+		default:
+			t.Fatalf("trial %d: exchanged run [%d,%d] anchored at neither end", trial, first, last)
+		}
+		for a := range dirty {
+			if wantDirty[a] && !dirty[a] {
+				t.Fatalf("trial %d: core %d touched but not dirtied", trial, a)
+			}
+		}
+	}
+	if !sawPrefix || !sawSuffix {
+		t.Errorf("trials covered prefix=%v suffix=%v, want both sides exercised", sawPrefix, sawSuffix)
+	}
+}
+
 func TestCrossoverRGPreservesPairs(t *testing.T) {
 	o, dad, mom := operatorHarness(t, 30)
 	for trial := 0; trial < 50; trial++ {

@@ -62,6 +62,11 @@ type RequestOptions struct {
 	WarmStart       bool   `json:"warm_start,omitempty"`
 	SharedWarm      bool   `json:"shared_warm,omitempty"`
 	EffectiveBudget bool   `json:"effective_budget,omitempty"` // charge budget only for distinct schedules
+	// Bound skips simulating candidates whose analytical lower bound
+	// proves they cannot reach the elite set (bit-identical results; see
+	// magma.Options.Bound). Unset defers to the server default
+	// (cmd/serve -bound).
+	Bound *bool `json:"bound,omitempty"`
 }
 
 // OptimizeRequest is the POST /optimize and POST /jobs body. Exactly
@@ -109,6 +114,13 @@ type CacheJSON struct {
 	FPIncremental uint64  `json:"fp_incremental"`
 	FPClean       uint64  `json:"fp_clean"`
 	FastFPRate    float64 `json:"fast_fp_rate"`
+	// Analytical-pruning counters (zero unless the request ran with
+	// bound): candidates tested against the elite floor, the subset whose
+	// simulation was replaced by their roofline bound, and the prune rate
+	// over distinct candidates (see m3e.CacheStats).
+	BoundChecked   uint64  `json:"bound_checked"`
+	BoundPruned    uint64  `json:"bound_pruned"`
+	BoundPruneRate float64 `json:"bound_prune_rate"`
 }
 
 func cacheJSON(s m3e.CacheStats) CacheJSON {
@@ -117,7 +129,9 @@ func cacheJSON(s m3e.CacheStats) CacheJSON {
 		Misses: s.Misses, Invalid: s.Invalid,
 		HitRate: s.HitRate(), CrossHitRate: s.CrossHitRate(),
 		FPFull: s.FullFP, FPIncremental: s.IncrementalFP, FPClean: s.CleanFP,
-		FastFPRate: s.FastFPRate(),
+		FastFPRate:   s.FastFPRate(),
+		BoundChecked: s.BoundChecked, BoundPruned: s.BoundPruned,
+		BoundPruneRate: s.BoundPruneRate(),
 	}
 }
 
@@ -199,6 +213,11 @@ type Config struct {
 	// could starve the whole server. Submissions past the cap get HTTP
 	// 429. 0 means max(4, 2×GOMAXPROCS).
 	MaxRunning int
+	// DefaultBound runs searches with analytical pruning unless the
+	// request says otherwise (options.bound overrides per request).
+	// Results are bit-identical either way; only wall-clock and the
+	// cache counters change.
+	DefaultBound bool
 }
 
 // Server is the HTTP facade over one shared Solver.
@@ -375,6 +394,10 @@ func (s *Server) parseRequest(body io.Reader) (*runSpec, error) {
 	if req.Options.Cache != nil {
 		cache = *req.Options.Cache
 	}
+	bound := s.cfg.DefaultBound && cache
+	if req.Options.Bound != nil {
+		bound = *req.Options.Bound
+	}
 	spec := &runSpec{
 		wl: wl,
 		pf: pf,
@@ -388,6 +411,7 @@ func (s *Server) parseRequest(body io.Reader) (*runSpec, error) {
 			WarmStart:       req.Options.WarmStart,
 			SharedWarm:      req.Options.SharedWarm,
 			EffectiveBudget: req.Options.EffectiveBudget,
+			Bound:           bound,
 		},
 		timeout: s.cfg.JobTimeout,
 	}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"magma/internal/models"
+	"magma/internal/platform"
+)
+
+// twoCoreHetero builds a 2-core heterogeneous platform (one HB + one LB
+// core from S2) so the bound property is exercised at the small end of
+// the core-count range too.
+func twoCoreHetero() platform.Platform {
+	s2 := platform.S2()
+	p := platform.Platform{
+		Name:        "2-hetero",
+		SubAccels:   []platform.SubAccel{s2.SubAccels[0], s2.SubAccels[3]},
+		SystemBWGBs: 8,
+	}
+	p.SubAccels[1].ID = 1
+	return p
+}
+
+// TestQuickBoundNeverBeatsSimulation is the bound's soundness contract:
+// over randomized schedules spanning 4–128 jobs, 2–16 heterogeneous
+// cores and both allocator policies, the analytical lower bound never
+// exceeds the simulated makespan — and the optimistic Result dominates
+// the simulated one in every objective direction (throughput/latency/
+// energy), which is what makes the derived fitness an upper bound.
+func TestQuickBoundNeverBeatsSimulation(t *testing.T) {
+	cases := []struct {
+		name  string
+		nJobs int
+		p     platform.Platform
+	}{
+		{"4jobs-2hetero", 4, twoCoreHetero()},
+		{"24jobs-S2", 24, platform.S2().WithBW(4)},
+		{"48jobs-S5", 48, platform.S5().WithBW(32)},
+		{"128jobs-S6", 128, platform.S6().WithBW(64)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tab := buildTable(t, models.Mix, tc.nJobs, tc.p)
+			b := NewBounds(tab)
+			if b.NumAccels() != tc.p.NumAccels() {
+				t.Fatalf("NumAccels = %d, want %d", b.NumAccels(), tc.p.NumAccels())
+			}
+			cb := make(CoreBounds, tc.p.NumAccels())
+			r := rand.New(rand.NewSource(int64(tc.nJobs)))
+			for trial := 0; trial < 12; trial++ {
+				m := randomMapping(tc.nJobs, tc.p.NumAccels(), r)
+				for _, pol := range []Policy{Proportional, WaterFill} {
+					res, err := Run(tab, m, Options{Policy: pol})
+					if err != nil {
+						t.Fatal(err)
+					}
+					b.CoresInto(cb, &m)
+					lb := b.LowerBound(cb)
+					if lb > res.TotalCycles {
+						t.Fatalf("trial %d policy %d: bound %g exceeds simulated makespan %g",
+							trial, pol, lb, res.TotalCycles)
+					}
+					opt := b.Result(cb)
+					if opt.Seconds > res.Seconds {
+						t.Fatalf("trial %d policy %d: bound seconds %g > simulated %g",
+							trial, pol, opt.Seconds, res.Seconds)
+					}
+					if opt.ThroughputGFLOPs < res.ThroughputGFLOPs {
+						t.Fatalf("trial %d policy %d: bound throughput %g below simulated %g",
+							trial, pol, opt.ThroughputGFLOPs, res.ThroughputGFLOPs)
+					}
+					if opt.Energy > res.Energy {
+						t.Fatalf("trial %d policy %d: bound energy %g > simulated %g",
+							trial, pol, opt.Energy, res.Energy)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBoundIncrementalMatchesFull pins the property the cache's
+// incremental path relies on: re-summing only the cores whose queues
+// changed (copying the parent's accumulators for clean cores) yields
+// bit-identical accumulators — and hence a bit-identical bound — to a
+// full recompute, because per-core sums run in queue order either way.
+func TestBoundIncrementalMatchesFull(t *testing.T) {
+	p := platform.S2().WithBW(8)
+	tab := buildTable(t, models.Mix, 24, p)
+	b := NewBounds(tab)
+	r := rand.New(rand.NewSource(9))
+	n := p.NumAccels()
+
+	parent := randomMapping(24, n, r)
+	parentCB := make(CoreBounds, n)
+	b.CoresInto(parentCB, &parent)
+
+	for trial := 0; trial < 20; trial++ {
+		// Child: swap the queues of two cores (dirtying exactly those two)
+		// and keep the rest aliased to the parent's queues.
+		child := Mapping{Queues: append([][]int(nil), parent.Queues...)}
+		x, y := r.Intn(n), r.Intn(n)
+		child.Queues[x], child.Queues[y] = parent.Queues[y], parent.Queues[x]
+
+		incr := make(CoreBounds, n)
+		copy(incr, parentCB) // clean cores: parent copy
+		incr[x] = b.Core(x, child.Queues[x])
+		incr[y] = b.Core(y, child.Queues[y])
+
+		full := make(CoreBounds, n)
+		b.CoresInto(full, &child)
+		for a := 0; a < n; a++ {
+			if incr[a] != full[a] {
+				t.Fatalf("trial %d: core %d incremental %+v != full %+v", trial, a, incr[a], full[a])
+			}
+		}
+		if b.LowerBound(incr) != b.LowerBound(full) {
+			t.Fatalf("trial %d: incremental bound %g != full %g",
+				trial, b.LowerBound(incr), b.LowerBound(full))
+		}
+	}
+}
+
+// TestBoundUpdateZeroAlloc pins the hot path's allocation budget: with
+// the accumulator vector preallocated, an incremental core update plus
+// the fold into a bound and an optimistic Result allocates nothing.
+func TestBoundUpdateZeroAlloc(t *testing.T) {
+	p := platform.S2().WithBW(8)
+	tab := buildTable(t, models.Mix, 24, p)
+	b := NewBounds(tab)
+	m := randomMapping(24, p.NumAccels(), rand.New(rand.NewSource(3)))
+	cb := make(CoreBounds, p.NumAccels())
+	b.CoresInto(cb, &m)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		cb[1] = b.Core(1, m.Queues[1]) // dirty-core re-sum
+		_ = b.LowerBound(cb)
+		_ = b.Result(cb)
+	})
+	if allocs != 0 {
+		t.Errorf("incremental bound update allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestSimulatorBoundsMemoized pins the Simulator-side memo: repeated
+// calls on one table share a Bounds, and a table change rebuilds it.
+func TestSimulatorBoundsMemoized(t *testing.T) {
+	tabA := buildTable(t, models.Mix, 12, platform.S1())
+	tabB := buildTable(t, models.Vision, 12, platform.S2())
+	s := NewSimulator(Options{})
+	b1 := s.Bounds(tabA)
+	if b2 := s.Bounds(tabA); b2 != b1 {
+		t.Error("same table rebuilt its Bounds")
+	}
+	b3 := s.Bounds(tabB)
+	if b3 == b1 {
+		t.Error("table change kept the stale Bounds")
+	}
+	if b3.NumAccels() != tabB.NumAccels() {
+		t.Errorf("rebuilt Bounds has %d accels, want %d", b3.NumAccels(), tabB.NumAccels())
+	}
+}

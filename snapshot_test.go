@@ -86,6 +86,65 @@ func TestSolverSnapshotWriterRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotExcludesBoundAssignedFitness: candidates the bound path
+// prunes get their analytical lower bound as fitness, never a
+// simulation — so those values must not be persisted as exact. The
+// snapshot carries only simulated entries (Misses − BoundPruned), and a
+// restored Solver answers bound-off requests bit-identically to a cold
+// unpruned run, proving no bound ever comes back as a store hit.
+func TestSnapshotExcludesBoundAssignedFitness(t *testing.T) {
+	wl := testWorkload(t, Mix, 16, 16, 35)
+	// Compute-dominated bandwidth: the per-core roofline discriminates
+	// placements, so the bound path actually prunes (see internal/m3e).
+	pf := PlatformS2().WithBW(1e4)
+	off := Options{Budget: 800, Seed: 7, Workers: 1, Cache: true}
+	on := off
+	on.Bound = true
+
+	a := NewSolver(SolverOptions{})
+	pruned, err := a.Optimize(wl.Groups[0], pf, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Cache.BoundPruned == 0 {
+		t.Fatal("bound-on run pruned nothing; the test needs a pruning workload")
+	}
+
+	var buf bytes.Buffer
+	if err := a.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestoreSolver(bytes.NewReader(buf.Bytes()), SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pruned.Cache.Misses - pruned.Cache.BoundPruned
+	if st := b.Stats(); st.EntriesRestored != want {
+		t.Errorf("EntriesRestored = %d, want %d (Misses %d − BoundPruned %d): a bound-assigned fitness leaked into the snapshot",
+			st.EntriesRestored, want, pruned.Cache.Misses, pruned.Cache.BoundPruned)
+	}
+
+	cold, err := NewSolver(SolverOptions{}).Optimize(wl.Groups[0], pf, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := b.Optimize(wl.Groups[0], pf, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSchedules(restored, cold) {
+		t.Error("bound-off run on the restored Solver diverged from a cold unpruned run")
+	}
+	if restored.Cache.CrossHits == 0 {
+		t.Error("restored Solver answered with zero cross-request hits")
+	}
+	// And the pruned run itself found the same schedule: pruning is a
+	// fast path, not a different search.
+	if !sameSchedules(pruned, cold) {
+		t.Error("bound-on run diverged from the unpruned run")
+	}
+}
+
 // TestSolverRestoreRejectsCorruptSnapshot: torn, bit-flipped and
 // version-bumped snapshots are rejected whole and the Solver stays
 // usable — the cold-boot path, never a crash.
