@@ -18,6 +18,16 @@
 //
 //	bench -serve                          # writes BENCH_serve.json
 //	bench -serve -requests 48 -clients 8  # heavier load
+//	bench -serve -fleet 3                 # 3 shards + rendezvous router
+//
+// The serve report includes per-request latency percentiles
+// (p50/p95/p99/max) measured over keep-alive connections. With -fleet N
+// the same mix is driven twice in one run — through a single node, then
+// through a router over N in-process shards — and the report adds
+// per-shard breakdowns (req/s, searches, problems, cross-request hit
+// rate), the router's own counters, the single-node baseline, and the
+// ownership check (per-shard problem counts must sum to the mix's
+// distinct problem count).
 //
 // With -serve -chaos, the load test runs with fault injection armed:
 // mapper panics at a fixed generation cadence (recovered into 500s while
@@ -35,12 +45,14 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +62,7 @@ import (
 	"magma"
 	"magma/internal/encoding"
 	"magma/internal/fault"
+	"magma/internal/fleet"
 	"magma/internal/m3e"
 	"magma/internal/models"
 	"magma/internal/opt/cmaes"
@@ -219,17 +232,27 @@ func main() {
 		requests  = flag.Int("requests", 24, "serve mode: total requests to fire")
 		clients   = flag.Int("clients", 4, "serve mode: concurrent clients")
 		chaos     = flag.Bool("chaos", false, "serve mode: arm fault injection (mapper panics, delayed simulations, snapshot write errors) and report recovered-error counts")
+		fleetN    = flag.Int("fleet", 0, "serve mode: stand up this many shard servers behind the rendezvous router and load-test through it, with a single-node baseline in the same run (0 = single node)")
 		workers   = flag.Int("workers", 0, "worker count for the phase-breakdown searches (0 = GOMAXPROCS)")
 	)
 	testing.Init() // registers test.* flags so benchtime is settable
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	if *chaos && !*serveMode {
-		log.Fatal("-chaos requires -serve")
+	if (*chaos || *fleetN > 0) && !*serveMode {
+		log.Fatal("-chaos and -fleet require -serve")
+	}
+	if *chaos && *fleetN > 0 {
+		log.Fatal("-chaos drives a single node; fleet fault tolerance is exercised by the router failover tests and the CI kill-a-shard smoke run")
 	}
 	if *serveMode {
-		if err := serveLoadTest(*serveOut, *requests, *clients, *chaos); err != nil {
+		var err error
+		if *fleetN > 0 {
+			err = fleetLoadTest(*serveOut, *requests, *clients, *fleetN)
+		} else {
+			err = serveLoadTest(*serveOut, *requests, *clients, *chaos)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -611,8 +634,63 @@ type ServeReport struct {
 	// Coalesced counts requests answered by an identical in-flight
 	// request's search (singleflight) instead of a search of their own.
 	Coalesced uint64 `json:"coalesced"`
+	// Latency summarizes per-request wall time as seen by the load
+	// generator (keep-alive connections, so steady-state numbers don't
+	// pay a dial per request).
+	Latency *LatencyJSON `json:"latency_ms,omitempty"`
 	// Chaos is present only under -chaos: the recovered-error counts.
 	Chaos *ChaosReport `json:"chaos,omitempty"`
+	// Fleet is present only under -fleet: the sharded run's breakdown
+	// and its same-run single-node baseline. With -fleet the top-level
+	// throughput/hit-rate/latency figures describe the *fleet* run.
+	Fleet *FleetReport `json:"fleet,omitempty"`
+}
+
+// LatencyJSON is a per-request latency summary in milliseconds
+// (nearest-rank percentiles over every completed request).
+type LatencyJSON struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// FleetReport is the -fleet section: per-shard breakdowns, the router's
+// own counters, the disjoint-ownership check, and the single-node
+// baseline measured in the same run.
+type FleetReport struct {
+	Shards int `json:"shards"`
+	// DistinctProblems is the number of distinct TableIdentities in the
+	// mix (computed locally by the driver); ProblemsSum is what the
+	// shards report holding. Equal exactly when every identity is served
+	// by one shard — the fleet's ownership invariant.
+	DistinctProblems  int               `json:"distinct_problems"`
+	ProblemsSum       int               `json:"problems_sum"`
+	OwnershipDisjoint bool              `json:"ownership_disjoint"`
+	Router            fleet.RouterStats `json:"router"`
+	PerShard          []ShardBench      `json:"per_shard"`
+	Baseline          BaselineBench     `json:"single_node_baseline"`
+}
+
+// ShardBench is one shard's slice of the fleet run. RequestsPerSec
+// counts the forwarded sub-requests this shard absorbed (fan-out splits
+// a multi-group request into one sub-request per group).
+type ShardBench struct {
+	Name                string  `json:"name"`
+	RequestsPerSec      float64 `json:"requests_per_sec"`
+	Searches            uint64  `json:"searches"`
+	Problems            int     `json:"problems"`
+	CrossRequestHitRate float64 `json:"cross_request_hit_rate"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+}
+
+// BaselineBench is the single-node run the fleet is compared against:
+// same mix, same request count, same process.
+type BaselineBench struct {
+	RequestsPerSec      float64      `json:"requests_per_sec"`
+	CrossRequestHitRate float64      `json:"cross_request_hit_rate"`
+	CacheHitRate        float64      `json:"cache_hit_rate"`
+	Latency             *LatencyJSON `json:"latency_ms,omitempty"`
 }
 
 // ChaosReport counts what the fault-injection run survived: every
@@ -708,58 +786,11 @@ func serveLoadTest(out string, requests, clients int, chaos bool) error {
 		}
 	}
 
-	// Three distinct workloads cycling through the request stream: every
-	// request beyond the first three re-asks a problem the shared engine
-	// already holds, so repeats hit the cross-run cache.
-	specs := []string{
-		`{"generate":{"task":"Mix","num_jobs":32,"group_size":16,"seed":11},"platform":"S2","options":{"budget_per_group":300,"seed":1}}`,
-		`{"generate":{"task":"Vision","num_jobs":32,"group_size":16,"seed":12},"platform":"S2","options":{"budget_per_group":300,"seed":2}}`,
-		`{"generate":{"task":"Lang","num_jobs":32,"group_size":16,"seed":13},"platform":"S1","options":{"budget_per_group":300,"seed":3}}`,
-	}
-
-	var (
-		wg   sync.WaitGroup
-		errs = make([]error, clients)
-		next atomic.Int64
-	)
-	start := time.Now()
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= requests {
-					return
-				}
-				resp, err := http.Post(ts.URL+"/optimize", "application/json",
-					strings.NewReader(specs[i%len(specs)]))
-				if err != nil {
-					errs[c] = err
-					return
-				}
-				body, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if err != nil {
-					errs[c] = err
-					return
-				}
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					succeeded.Add(1)
-				case chaos && resp.StatusCode == http.StatusInternalServerError:
-					// An injected mapper panic failed this request; the
-					// server recovered and the next request proceeds.
-					failed500s.Add(1)
-				default:
-					errs[c] = fmt.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
-					return
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	elapsed := time.Since(start).Seconds()
+	specs := serveMixSpecs()
+	res, mixErr := fireMix(newBenchClient(), ts.URL, specs, requests, clients, chaos)
+	failed500s.Store(res.failed500s)
+	succeeded.Store(res.succeeded)
+	elapsed := res.seconds
 	stopSnaps()
 	if chaos {
 		// Short runs can end before the ticker ever fires; take a final
@@ -774,10 +805,8 @@ func serveLoadTest(out string, requests, clients int, chaos bool) error {
 			break
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if mixErr != nil {
+		return mixErr
 	}
 
 	// The serve-level coalescing counter lives behind /stats.
@@ -809,6 +838,7 @@ func serveLoadTest(out string, requests, clients int, chaos bool) error {
 		PoolsBuilt:          stats.PoolsBuilt,
 		PoolsReused:         stats.PoolsReused,
 		Coalesced:           engStats.Coalesced,
+		Latency:             latencyOf(res.latencies),
 	}
 	if chaos {
 		ch := &ChaosReport{
@@ -832,7 +862,270 @@ func serveLoadTest(out string, requests, clients int, chaos bool) error {
 		}
 		rep.Chaos = ch
 	}
+	return writeServeReport(out, rep)
+}
 
+// serveMixSpecs is the repeated-workload request mix every serve-mode
+// run fires: three distinct workloads cycling through the stream, so
+// every request beyond the first three re-asks a problem the serving
+// engine already holds and repeats hit the cross-run cache.
+func serveMixSpecs() []string {
+	return []string{
+		`{"generate":{"task":"Mix","num_jobs":32,"group_size":16,"seed":11},"platform":"S2","options":{"budget_per_group":300,"seed":1}}`,
+		`{"generate":{"task":"Vision","num_jobs":32,"group_size":16,"seed":12},"platform":"S2","options":{"budget_per_group":300,"seed":2}}`,
+		`{"generate":{"task":"Lang","num_jobs":32,"group_size":16,"seed":13},"platform":"S1","options":{"budget_per_group":300,"seed":3}}`,
+	}
+}
+
+// newBenchClient builds the shared keep-alive load-generation client:
+// one transport with a warm per-host idle pool, so steady-state
+// requests reuse connections instead of paying a dial each.
+func newBenchClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 64
+	tr.IdleConnTimeout = 90 * time.Second
+	return &http.Client{Transport: tr}
+}
+
+// mixResult is one load-generation run: wall time, per-request
+// latencies (milliseconds, indexed by request number), and the
+// 200/500 split.
+type mixResult struct {
+	seconds    float64
+	latencies  []float64
+	succeeded  int64
+	failed500s int64
+}
+
+// fireMix drives the repeated-workload mix at url from `clients`
+// concurrent clients over one shared keep-alive HTTP client. With
+// allow500, injected-fault 500s are counted instead of fatal (the
+// -chaos contract: a recovered panic fails one request, not the run).
+func fireMix(client *http.Client, url string, specs []string, requests, clients int, allow500 bool) (mixResult, error) {
+	var (
+		wg         sync.WaitGroup
+		errs       = make([]error, clients)
+		next       atomic.Int64
+		succeeded  atomic.Int64
+		failed500s atomic.Int64
+	)
+	latencies := make([]float64, requests)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url+"/optimize", "application/json",
+					strings.NewReader(specs[i%len(specs)]))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				latencies[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					succeeded.Add(1)
+				case allow500 && resp.StatusCode == http.StatusInternalServerError:
+					// An injected mapper panic failed this request; the
+					// server recovered and the next request proceeds.
+					failed500s.Add(1)
+				default:
+					errs[c] = fmt.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res := mixResult{
+		seconds:    time.Since(start).Seconds(),
+		latencies:  latencies,
+		succeeded:  succeeded.Load(),
+		failed500s: failed500s.Load(),
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// latencyOf summarizes per-request latencies into nearest-rank
+// percentiles over the sorted sample.
+func latencyOf(ms []float64) *LatencyJSON {
+	if len(ms) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return &LatencyJSON{P50: rank(0.50), P95: rank(0.95), P99: rank(0.99), Max: s[len(s)-1]}
+}
+
+// fleetLoadTest stands up nShards shard servers plus the rendezvous
+// router in-process and drives the same repeated mix twice — once
+// against a single-node server (the baseline) and once through the
+// router, same request count, same process — so the report's
+// fleet-vs-single comparison is apples to apples. It also recomputes
+// every group's owner locally and enforces the fleet's ownership
+// invariant: per-shard problem counts must sum to the distinct problem
+// count (every TableIdentity served by exactly one shard).
+func fleetLoadTest(out string, requests, clients, nShards int) error {
+	specs := serveMixSpecs()
+	client := newBenchClient()
+
+	// Baseline: one node takes the whole mix.
+	baseSolver := magma.NewSolver(magma.SolverOptions{})
+	baseTS := httptest.NewServer(serve.New(baseSolver).Handler())
+	baseRes, err := fireMix(client, baseTS.URL, specs, requests, clients, false)
+	baseTS.Close()
+	if err != nil {
+		return fmt.Errorf("single-node baseline: %w", err)
+	}
+	baseStats := baseSolver.Stats()
+
+	// The fleet: nShards fresh shard servers and the router in front.
+	shards := make([]fleet.Shard, nShards)
+	for i := range shards {
+		ts := httptest.NewServer(serve.New(magma.NewSolver(magma.SolverOptions{})).Handler())
+		defer ts.Close()
+		shards[i] = fleet.Shard{Name: fmt.Sprintf("shard%d", i), URL: ts.URL}
+	}
+	router, err := fleet.NewRouter(shards, fleet.Config{})
+	if err != nil {
+		return err
+	}
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+	fleetRes, err := fireMix(client, rts.URL, specs, requests, clients, false)
+	if err != nil {
+		return fmt.Errorf("fleet run: %w", err)
+	}
+
+	// Recompute the routing locally: the distinct problems in the mix,
+	// each group's owner, and how many forwarded sub-requests each shard
+	// absorbed (fan-out splits a request into one sub-request per group).
+	distinct := map[encoding.TableKey]int{}
+	subsPerShard := make([]int, nShards)
+	for si, spec := range specs {
+		var req serve.OptimizeRequest
+		if err := json.Unmarshal([]byte(spec), &req); err != nil {
+			return err
+		}
+		wl, pf, err := serve.ResolveTarget(&req)
+		if err != nil {
+			return err
+		}
+		owners := make([]int, len(wl.Groups))
+		split := false
+		for gi, g := range wl.Groups {
+			key := encoding.TableIdentity(g, pf)
+			owners[gi] = fleet.Owner(shards, key)
+			distinct[key] = owners[gi]
+			if owners[gi] != owners[0] {
+				split = true
+			}
+		}
+		fired := requests / len(specs)
+		if si < requests%len(specs) {
+			fired++
+		}
+		if split {
+			for _, o := range owners {
+				subsPerShard[o] += fired
+			}
+		} else {
+			subsPerShard[owners[0]] += fired
+		}
+	}
+
+	var stats fleet.StatsResponse
+	resp, err := client.Get(rts.URL + "/stats")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding fleet /stats: %w", err)
+	}
+
+	fr := &FleetReport{
+		Shards:           nShards,
+		DistinctProblems: len(distinct),
+		Router:           stats.Router,
+		Baseline: BaselineBench{
+			RequestsPerSec:      float64(requests) / baseRes.seconds,
+			CrossRequestHitRate: baseStats.Cache.CrossHitRate(),
+			CacheHitRate:        baseStats.Cache.HitRate(),
+			Latency:             latencyOf(baseRes.latencies),
+		},
+	}
+	for i, st := range stats.PerShard {
+		sb := ShardBench{Name: st.Name, RequestsPerSec: float64(subsPerShard[i]) / fleetRes.seconds}
+		if st.Stats != nil {
+			sb.Searches = st.Stats.Searches
+			sb.Problems = st.Stats.Problems
+			sb.CrossRequestHitRate = st.Stats.CrossRequestHitRate
+			sb.CacheHitRate = st.Stats.Cache.HitRate
+			fr.ProblemsSum += st.Stats.Problems
+		}
+		fr.PerShard = append(fr.PerShard, sb)
+	}
+	fr.OwnershipDisjoint = fr.ProblemsSum == fr.DistinctProblems
+
+	agg := stats.Aggregate
+	rep := ServeReport{
+		GoVersion:           runtime.Version(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		Requests:            requests,
+		Clients:             clients,
+		DistinctWLs:         len(specs),
+		Seconds:             fleetRes.seconds,
+		RequestsPerSec:      float64(requests) / fleetRes.seconds,
+		CrossRequestHitRate: agg.CrossRequestHitRate,
+		CacheHitRate:        agg.Cache.HitRate,
+		Searches:            agg.Searches,
+		TablesBuilt:         agg.TablesBuilt,
+		TablesReused:        agg.TablesReused,
+		PoolsBuilt:          agg.PoolsBuilt,
+		PoolsReused:         agg.PoolsReused,
+		Coalesced:           agg.Coalesced,
+		Latency:             latencyOf(fleetRes.latencies),
+		Fleet:               fr,
+	}
+	if err := writeServeReport(out, rep); err != nil {
+		return err
+	}
+	if !fr.OwnershipDisjoint {
+		return fmt.Errorf("ownership not disjoint: per-shard problems sum to %d, mix has %d distinct", fr.ProblemsSum, fr.DistinctProblems)
+	}
+	return nil
+}
+
+// writeServeReport writes the JSON artifact and prints the
+// human-readable summary shared by every serve-mode run.
+func writeServeReport(out string, rep ServeReport) error {
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -845,12 +1138,32 @@ func serveLoadTest(out string, requests, clients int, chaos bool) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("%d requests, %d clients, %d distinct workloads\n", requests, clients, len(specs))
-	fmt.Printf("throughput:             %.2f req/s (%.2fs wall)\n", rep.RequestsPerSec, elapsed)
+	fmt.Printf("%d requests, %d clients, %d distinct workloads\n", rep.Requests, rep.Clients, rep.DistinctWLs)
+	fmt.Printf("throughput:             %.2f req/s (%.2fs wall)\n", rep.RequestsPerSec, rep.Seconds)
 	fmt.Printf("cross-request hit rate: %.1f%% (cache hit rate %.1f%%)\n",
 		100*rep.CrossRequestHitRate, 100*rep.CacheHitRate)
 	fmt.Printf("tables built/reused:    %d/%d; pools built/reused: %d/%d; coalesced: %d\n",
 		rep.TablesBuilt, rep.TablesReused, rep.PoolsBuilt, rep.PoolsReused, rep.Coalesced)
+	if l := rep.Latency; l != nil {
+		fmt.Printf("latency:                p50 %.1fms, p95 %.1fms, p99 %.1fms, max %.1fms\n",
+			l.P50, l.P95, l.P99, l.Max)
+	}
+	if fr := rep.Fleet; fr != nil {
+		fmt.Printf("fleet: %d shards behind one router (forwarded %d, fan-outs %d, retries %d, shard errors %d)\n",
+			fr.Shards, fr.Router.Forwarded, fr.Router.FanOuts, fr.Router.Retries, fr.Router.ShardErrors)
+		for _, sb := range fr.PerShard {
+			fmt.Printf("  %-8s %6.2f req/s, %3d searches, %2d problems, cross-request hit rate %.1f%%\n",
+				sb.Name+":", sb.RequestsPerSec, sb.Searches, sb.Problems, 100*sb.CrossRequestHitRate)
+		}
+		b := fr.Baseline
+		fmt.Printf("  single-node baseline: %.2f req/s, cross-request hit rate %.1f%%", b.RequestsPerSec, 100*b.CrossRequestHitRate)
+		if b.Latency != nil {
+			fmt.Printf(", p95 %.1fms", b.Latency.P95)
+		}
+		fmt.Println()
+		fmt.Printf("  ownership: %d distinct problems, per-shard sum %d, disjoint: %v\n",
+			fr.DistinctProblems, fr.ProblemsSum, fr.OwnershipDisjoint)
+	}
 	if ch := rep.Chaos; ch != nil {
 		fmt.Printf("chaos: %d mapper panics recovered (%d requests 500, %d ok), %d delayed batches\n",
 			ch.MapperPanics, ch.Failed500s, ch.Succeeded, ch.DelayedSimulations)

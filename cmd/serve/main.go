@@ -9,6 +9,18 @@
 //	serve -addr :9000 -maxproblems 128 -cachesize 131072
 //	serve -jobtimeout 2m -maxjobs 512
 //	serve -snapshot-dir /var/lib/magma -snapshot-interval 30s
+//	serve -addr :8080 -shards http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// With -shards the process is a fleet *router* instead of a shard: it
+// owns no Solver and forwards every /optimize to the shard that owns
+// each group's TableIdentity under rendezvous hashing (multi-group
+// requests fan out per group and merge bit-identically), aggregates
+// /stats across the fleet, and retries a shedding or briefly
+// unreachable shard before failing the request with a 502. Shard
+// elements are "url" or "name=url"; names are the stable hash
+// identities, so keep them fixed across restarts (see internal/fleet).
+// All solver flags (-maxproblems, -snapshot-dir, ...) apply to shard
+// processes and are rejected in router mode.
 //
 // With -snapshot-dir the server is crash-safe: it periodically writes
 // the Solver's warm state (schedule-cache entries and warm-start seeds)
@@ -49,6 +61,7 @@ import (
 	"time"
 
 	"magma"
+	"magma/internal/fleet"
 	"magma/internal/serve"
 )
 
@@ -64,10 +77,16 @@ func main() {
 		snapDir     = flag.String("snapshot-dir", "", "directory for durable warm-state snapshots; empty disables snapshotting")
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "period between background snapshots (with -snapshot-dir)")
 		bound       = flag.Bool("bound", false, "skip simulating candidates whose analytical lower bound cannot reach the elite set (bit-identical results; per-request options.bound overrides)")
+		shardSpec   = flag.String("shards", "", "run as a fleet router over this comma-separated shard list (url or name=url); solver flags do not apply")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("serve: ")
+
+	if *shardSpec != "" {
+		runRouter(*addr, *shardSpec)
+		return
+	}
 
 	solver := magma.NewSolver(magma.SolverOptions{
 		MaxProblems: *maxProblems,
@@ -119,6 +138,55 @@ func main() {
 	}()
 
 	log.Printf("listening on %s (shared solver: one engine for all requests)", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// runRouter serves the fleet front end: no Solver in this process, just
+// rendezvous routing, per-group fan-out and fleet-wide stats. The
+// solver flags are shard-process configuration; accepting them here and
+// silently ignoring them would hide a misconfigured deployment, so any
+// that were set are fatal.
+func runRouter(addr, shardSpec string) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "addr", "shards":
+		default:
+			log.Fatalf("-%s configures a shard process; it does not apply with -shards (start shards as separate serve processes)", f.Name)
+		}
+	})
+	shards, err := fleet.ParseShards(shardSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := fleet.NewRouter(shards, fleet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           logRequests(router.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("router shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	for _, sh := range shards {
+		log.Printf("shard %s -> %s", sh.Name, sh.URL)
+	}
+	log.Printf("routing on %s (%d shards, rendezvous-hashed by TableIdentity)", addr, len(shards))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -104,6 +104,11 @@ type Stats struct {
 	// panic path — so the counter growing while Searches also grows is
 	// the expected shape of a misbehaving registered mapper.
 	MapperPanics uint64
+	// Problems is the live problem count (cached table × objective
+	// entries) at snapshot time. In a sharded fleet the per-shard counts
+	// sum to the distinct problem count across the fleet exactly when
+	// routing keeps ownership disjoint.
+	Problems int
 }
 
 // problemKey identifies one cached problem: the analyzer-visible
@@ -176,7 +181,9 @@ func New(cfg Config) *Engine {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	st.Problems = len(e.problems)
+	return st
 }
 
 // ProblemHandle is a lease on one cached problem. Handles are cheap,

@@ -47,6 +47,14 @@ const (
 	// Returned errors are ignored — simulation has no error path per
 	// batch — so use it for delays and panics only.
 	M3ESimulate = "m3e.simulate"
+	// FleetForward fires in the fleet router before every forwarded
+	// sub-request; a sleeping hook models a slow shard (the forward
+	// proceeds after the delay — tail-latency injection).
+	FleetForward = "fleet.forward"
+	// FleetShardDown fires at the same site; a non-nil error is treated
+	// exactly like a failed dial to the owning shard — the router
+	// retries with backoff and then answers 502 (shard-down injection).
+	FleetShardDown = "fleet.shard-down"
 )
 
 // armed counts enabled points; zero keeps every Hit on the one-atomic-

@@ -123,6 +123,11 @@ type CacheJSON struct {
 	BoundPruneRate float64 `json:"bound_prune_rate"`
 }
 
+// CacheJSONOf converts aggregated cache counters to the wire form —
+// exported for the fleet router, which sums shard counters and needs
+// the rates recomputed over the sums.
+func CacheJSONOf(s m3e.CacheStats) CacheJSON { return cacheJSON(s) }
+
 func cacheJSON(s m3e.CacheStats) CacheJSON {
 	return CacheJSON{
 		Hits: s.Hits, CrossHits: s.CrossHits, Deduped: s.Deduped,
@@ -141,6 +146,7 @@ func cacheJSON(s m3e.CacheStats) CacheJSON {
 // search inserted.
 type EngineJSON struct {
 	Searches            uint64    `json:"searches"`
+	Problems            int       `json:"problems"`
 	TablesBuilt         uint64    `json:"tables_built"`
 	TablesReused        uint64    `json:"tables_reused"`
 	ProblemsEvicted     uint64    `json:"problems_evicted"`
@@ -163,7 +169,8 @@ type EngineJSON struct {
 
 func engineJSON(s magma.SolverStats) EngineJSON {
 	return EngineJSON{
-		Searches: s.Searches, TablesBuilt: s.TablesBuilt, TablesReused: s.TablesReused,
+		Searches: s.Searches, Problems: s.Problems,
+		TablesBuilt: s.TablesBuilt, TablesReused: s.TablesReused,
 		ProblemsEvicted: s.ProblemsEvicted, PoolsBuilt: s.PoolsBuilt, PoolsReused: s.PoolsReused,
 		CachesBuilt: s.CachesBuilt, CachesReused: s.CachesReused,
 		Cache:               cacheJSON(s.Cache),
@@ -353,6 +360,29 @@ func workloadFor(req *OptimizeRequest) (magma.Workload, error) {
 	return magma.Workload{}, fmt.Errorf("missing workload: set workload (inline JSON) or generate (spec)")
 }
 
+// ResolveTarget resolves an OptimizeRequest's workload and platform —
+// the prefix of request parsing the fleet router shares with the shard:
+// computing each group's TableIdentity needs the concrete groups and
+// the platform configuration but none of the search options.
+func ResolveTarget(req *OptimizeRequest) (magma.Workload, magma.Platform, error) {
+	wl, err := workloadFor(req)
+	if err != nil {
+		return magma.Workload{}, magma.Platform{}, fmt.Errorf("workload: %w", err)
+	}
+	setting := req.Platform
+	if setting == "" {
+		setting = "S2"
+	}
+	pf, err := magma.PlatformBySetting(setting)
+	if err != nil {
+		return magma.Workload{}, magma.Platform{}, fmt.Errorf("platform: %w", err)
+	}
+	if req.BW > 0 {
+		pf = pf.WithBW(req.BW)
+	}
+	return wl, pf, nil
+}
+
 // runSpec is a fully-parsed, validated request, ready to run.
 type runSpec struct {
 	wl      magma.Workload
@@ -371,20 +401,9 @@ func (s *Server) parseRequest(body io.Reader) (*runSpec, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("decoding request: %w", err)
 	}
-	wl, err := workloadFor(&req)
+	wl, pf, err := ResolveTarget(&req)
 	if err != nil {
-		return nil, fmt.Errorf("workload: %w", err)
-	}
-	setting := req.Platform
-	if setting == "" {
-		setting = "S2"
-	}
-	pf, err := magma.PlatformBySetting(setting)
-	if err != nil {
-		return nil, fmt.Errorf("platform: %w", err)
-	}
-	if req.BW > 0 {
-		pf = pf.WithBW(req.BW)
+		return nil, err
 	}
 	obj, err := parseObjective(req.Options.Objective)
 	if err != nil {
