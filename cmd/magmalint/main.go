@@ -1,0 +1,39 @@
+// Command magmalint machine-checks the repo's determinism,
+// panic-isolation, and fault-point invariants (see DESIGN.md
+// "Determinism as a checked invariant"):
+//
+//	go run ./cmd/magmalint ./...
+//
+// It exits 0 on a clean tree, 1 with findings (one per line, vet
+// style), 2 on load errors. Suppress a legitimate exception with
+// //magmalint:allow <analyzer> -- <reason> on or above the line.
+// Run `go vet ./...` alongside it — CI's lint job runs both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"magma/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: magmalint [packages]\n\nAnalyzers:\n")
+		printAnalyzers(os.Stderr)
+	}
+	flag.Parse()
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+	os.Exit(lint.Main(".", flag.Args(), os.Stdout))
+}
+
+func printAnalyzers(w *os.File) {
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"magma/internal/lint"
+)
+
+// TestRepoIsLintClean is the smoke gate: the committed tree must pass
+// the full analyzer suite. It runs the same driver the binary wraps,
+// from the repo root, over every package.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole module")
+	}
+	var out bytes.Buffer
+	if code := lint.Main("../..", []string{"./..."}, &out); code != 0 {
+		t.Fatalf("magmalint ./... exited %d; findings:\n%s", code, out.String())
+	}
+}

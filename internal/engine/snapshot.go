@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"magma/internal/m3e"
 	"magma/internal/persist"
 )
@@ -28,9 +30,23 @@ func (e *Engine) Export() []persist.Problem {
 			cuts = append(cuts, cut{key: key, store: st.store})
 		}
 	}
+	// The not-yet-adopted restored stores have no arrival order, so
+	// sort them by identity: the snapshot bytes must not depend on map
+	// iteration order (two exports of the same state stay identical).
+	adopted := len(cuts)
 	for key, store := range e.restored {
 		cuts = append(cuts, cut{key: key, store: store})
 	}
+	sort.Slice(cuts[adopted:], func(i, j int) bool {
+		a, b := cuts[adopted+i].key, cuts[adopted+j].key
+		if a.table != b.table {
+			if a.table.A != b.table.A {
+				return a.table.A < b.table.A
+			}
+			return a.table.B < b.table.B
+		}
+		return a.obj < b.obj
+	})
 	e.mu.Unlock()
 
 	// Copy the stores outside the engine lock: an export is O(entries)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -423,9 +424,17 @@ func (rt *Router) merge(name string, owners []int, subs []serve.OptimizeResponse
 		out.ThroughputGFLOPs = out.TotalGFLOPs / out.TotalSeconds
 	}
 	out.Cache = serve.CacheJSONOf(cache)
+	// Aggregate in group order, not map order: float sums are not
+	// associative, so the merged rates must see the shards' views in a
+	// fixed order to stay bit-identical run to run.
+	owned := make([]int, 0, len(engines))
+	for i := range engines {
+		owned = append(owned, i)
+	}
+	sort.Ints(owned)
 	views := make([]serve.EngineJSON, 0, len(engines))
-	for _, v := range engines {
-		views = append(views, v)
+	for _, i := range owned {
+		views = append(views, engines[i])
 	}
 	out.Engine = aggregateEngine(views)
 	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3

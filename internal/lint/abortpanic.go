@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AbortPanic forbids raw panic(...) in optimizer code. Mappers run
+// inside m3e's recover boundary, and the PR 6 contract is that a
+// failing mapper aborts its own run as a *m3e.MapperPanicError (HTTP
+// 500 for that one request) while the Solver keeps serving. A raw
+// panic still trips that boundary, but it erases the typed error path:
+// use m3e.AbortRun(err) so the failure carries an error the boundary
+// unwraps, or return an error where a signature allows it.
+var AbortPanic = &Analyzer{
+	Name: "abortpanic",
+	Doc:  "forbid raw panic in optimizer code; use m3e.AbortRun(err)",
+	Run:  runAbortPanic,
+}
+
+func runAbortPanic(pass *Pass) error {
+	if !inSet(pass.Path, panicIsolated) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass.TypesInfo, call, "panic") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "raw panic in %s: optimizer failures must stay isolated as *m3e.MapperPanicError — call m3e.AbortRun(err) (or return an error) instead", pass.Path)
+			return true
+		})
+	}
+	return nil
+}

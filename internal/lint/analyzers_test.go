@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"testing"
+
+	"magma/internal/lint"
+	"magma/internal/lint/linttest"
+)
+
+// Each fixture directory is one package; the asPath column is the
+// import path the fixture masquerades as, which is what the analyzers'
+// enforced-set gating keys on.
+
+func TestDetRandEnforced(t *testing.T) {
+	linttest.Run(t, "testdata/detrand/enforced", "magma/internal/sim", lint.DetRand)
+}
+
+func TestDetRandOutsideEnforcedSetIsQuiet(t *testing.T) {
+	linttest.Run(t, "testdata/detrand/offset", "magma/internal/models", lint.DetRand)
+}
+
+func TestMapOrderEnforced(t *testing.T) {
+	linttest.Run(t, "testdata/maporder/enforced", "magma/internal/engine", lint.MapOrder)
+}
+
+func TestMapOrderCoversServeAggregation(t *testing.T) {
+	// The aggregation paths (stats/serve/fleet) are order-sensitive
+	// even though they are not result-affecting for detrand.
+	linttest.Run(t, "testdata/maporder/enforced", "magma/internal/serve", lint.MapOrder)
+}
+
+func TestMapOrderOutsideEnforcedSetIsQuiet(t *testing.T) {
+	// The same order-sensitive bodies, judged as an unenforced
+	// package: every would-be finding must stay quiet.
+	pkg, err := linttest.Load("testdata/maporder/enforced", "magma/internal/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.MapOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("maporder reported %d finding(s) outside the enforced set: %v", len(diags), diags)
+	}
+}
+
+func TestAbortPanicEnforced(t *testing.T) {
+	linttest.Run(t, "testdata/abortpanic/enforced", "magma/internal/opt/ga", lint.AbortPanic)
+}
+
+func TestAbortPanicOutsideEnforcedSetIsQuiet(t *testing.T) {
+	linttest.Run(t, "testdata/abortpanic/offset", "magma/internal/models", lint.AbortPanic)
+}
+
+func TestFaultPointRegistryCrossPackage(t *testing.T) {
+	// Gating is by fault usage, not package set: any path works.
+	linttest.Run(t, "testdata/faultpoint/enforced", "magma/internal/persist", lint.FaultPoint)
+}
+
+func TestCtxBoundaryEnforced(t *testing.T) {
+	linttest.Run(t, "testdata/ctxboundary/enforced", "magma/internal/engine", lint.CtxBoundary)
+}
+
+func TestDirectiveGrammar(t *testing.T) {
+	// Malformed directives are findings themselves; run under detrand
+	// so the fixture's deliberate violations are live.
+	linttest.Run(t, "testdata/directives", "magma/internal/sim", lint.DetRand)
+}

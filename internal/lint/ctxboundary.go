@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxBoundary keeps the PR 4 cancellation contract honest in the
+// public-facing packages: an exported function or method that accepts
+// a context.Context must take it as its first parameter (so callers
+// and wrappers compose uniformly), and no struct may store a
+// context.Context field (a stored context outlives its request and
+// silently detaches cancellation — pass it down the call stack
+// instead).
+var CtxBoundary = &Analyzer{
+	Name: "ctxboundary",
+	Doc:  "context.Context first in exported signatures, never stored in structs",
+	Run:  runCtxBoundary,
+}
+
+func runCtxBoundary(pass *Pass) error {
+	if !inSet(pass.Path, ctxBounded) {
+		return nil
+	}
+	isCtx := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && isNamedType(tv.Type, "context", "Context")
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Type.Params == nil {
+					continue
+				}
+				// Count leading parameters per field group so "first
+				// parameter" is judged by position, not field index.
+				pos := 0
+				for _, field := range d.Type.Params.List {
+					n := len(field.Names)
+					if n == 0 {
+						n = 1 // unnamed parameter
+					}
+					if isCtx(field.Type) && (pos != 0 || n > 1) {
+						pass.Reportf(field.Pos(), "%s: context.Context must be the first parameter (the cancellation contract of %s)", d.Name.Name, pass.Path)
+					}
+					pos += n
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if isCtx(field.Type) {
+							pass.Reportf(field.Pos(), "struct %s stores a context.Context: a stored context outlives its request and detaches cancellation — pass ctx as a parameter instead", ts.Name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DetRand forbids nondeterminism sources in result-affecting packages:
+// wall-clock reads (time.Now, time.Since), the process-global math/rand
+// generators, and crypto/rand. All randomness in these packages must
+// flow through a seeded *rng.Stream so any worker count, shard count,
+// or restart replays the exact same search stream. Timing telemetry
+// that provably never touches result bytes (e.g. Result.Phases) may be
+// annotated //magmalint:allow detrand -- <reason>.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock and global-randomness reads in result-affecting packages",
+	Run:  runDetRand,
+}
+
+// mathRandGlobals are the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared global source. Constructors
+// (New, NewSource, NewPCG, NewChaCha8, NewZipf) are fine: a *rand.Rand
+// built from an explicit seed is deterministic.
+var mathRandGlobals = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint": true, "Uint32": true,
+	"Uint32N": true, "Uint64": true, "Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true, "N": true,
+}
+
+// timeForbidden are the time package functions that read the wall
+// clock in a result-visible way. (time.Sleep delays but never yields a
+// value, so it cannot fork result bytes and stays legal.)
+var timeForbidden = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetRand(pass *Pass) error {
+	if !inSet(pass.Path, resultAffecting) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			p := importedPkg(pass.TypesInfo, id)
+			if p == nil {
+				return true
+			}
+			switch p.Path() {
+			case "time":
+				if timeForbidden[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s in result-affecting package %s: wall-clock reads break deterministic replay; keep timing out of result bytes (annotate //magmalint:allow detrand -- <reason> for pure telemetry)", sel.Sel.Name, pass.Path)
+				}
+			case "math/rand", "math/rand/v2":
+				if mathRandGlobals[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "global %s.%s in result-affecting package %s: draw from the run's *rng.Stream instead so every worker count and restart replays the same stream", p.Path(), sel.Sel.Name, pass.Path)
+				}
+			case "crypto/rand":
+				pass.Reportf(sel.Pos(), "crypto/rand.%s in result-affecting package %s: crypto randomness is unseedable; derive randomness from the run's *rng.Stream", sel.Sel.Name, pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

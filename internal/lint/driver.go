@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+)
+
+// Main loads the packages matched by patterns (relative to dir), runs
+// the full analyzer suite over them, prints findings to out in the
+// usual file:line:col format, and returns the process exit code: 0
+// for a clean tree, 1 when findings were printed, 2 on load errors.
+// It is the whole of cmd/magmalint, shaped as a function so the smoke
+// test can run the real driver in-process over the repo.
+func Main(dir string, patterns []string, out io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(out, "magmalint: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, Analyzers())
+		if err != nil {
+			fmt.Fprintf(out, "magmalint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(out, "magmalint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FaultPoint cross-checks every fault.Hit/Enable/Disable/Hits call
+// site against the well-known point names exported by
+// internal/fault: a typo'd or unregistered name ("persist.wrote",
+// "fleet.sharddown") silently disarms a chaos suite because the hook
+// and the production call site stop meeting at the same point. Names
+// must be compile-time string constants — a name assembled at runtime
+// can never be checked against the registry, and the registry's whole
+// purpose is that renames break the build, not the chaos coverage.
+var FaultPoint = &Analyzer{
+	Name: "faultpoint",
+	Doc:  "fault point names must be constants matching the internal/fault registry",
+	Run:  runFaultPoint,
+}
+
+// faultPkgPath is the registry package. The analyzer activates in any
+// package that calls into it (including cmd/ trees), so it needs no
+// enforced-set gating of its own.
+const faultPkgPath = "magma/internal/fault"
+
+// faultNameFuncs are the fault package functions whose first argument
+// is a point name.
+var faultNameFuncs = map[string]bool{"Hit": true, "Enable": true, "Disable": true, "Hits": true}
+
+// faultRegistry extracts the registered point names — the exported
+// string constants of the fault package — keyed by value.
+func faultRegistry(p *types.Package) map[string]string {
+	reg := map[string]string{}
+	scope := p.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+			continue
+		}
+		reg[constant.StringVal(c.Val())] = name
+	}
+	return reg
+}
+
+func runFaultPoint(pass *Pass) error {
+	if pass.Pkg.Path() == faultPkgPath || pass.Path == faultPkgPath {
+		return nil // the registry itself may mint names freely
+	}
+	var registry map[string]string
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkgCall(pass.TypesInfo, call, faultPkgPath)
+			if !ok || !faultNameFuncs[fn] || len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "fault.%s point name must be a compile-time string constant (use the fault.* registry constants), not a value built at runtime", fn)
+				return true
+			}
+			if registry == nil {
+				if sel := call.Fun.(*ast.SelectorExpr); sel != nil {
+					if p := importedPkg(pass.TypesInfo, sel.X.(*ast.Ident)); p != nil {
+						registry = faultRegistry(p)
+					}
+				}
+			}
+			name := constant.StringVal(tv.Value)
+			if _, ok := registry[name]; !ok {
+				pass.Reportf(arg.Pos(), "fault point %q is not in the internal/fault registry (known: %s); a typo'd name silently disarms its chaos suite", name, strings.Join(registryNames(registry), ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryNames lists the registered point names sorted, for the
+// diagnostic message.
+func registryNames(reg map[string]string) []string {
+	names := make([]string, 0, len(reg))
+	for v := range reg {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,189 @@
+// Package lint is magmalint: a suite of static analyzers that machine-
+// check the invariants every headline feature of this repo leans on —
+// deterministic, bit-identical search streams (no wall clock, no global
+// randomness, no map-iteration order in result-affecting code), panic
+// isolation in optimizers (m3e.AbortRun instead of raw panic), and
+// fault-point names that match the internal/fault registry.
+//
+// The package is deliberately self-contained: it implements a small
+// go/analysis-shaped core (Analyzer, Pass, Diagnostic) plus an offline
+// package loader on top of the standard library's go/ast, go/types and
+// `go list -export`, because this build environment has no module proxy
+// access for golang.org/x/tools. The shapes mirror x/tools so the suite
+// can be rebased onto the real framework if the dependency ever becomes
+// available; see DESIGN.md "Determinism as a checked invariant".
+//
+// Findings can be suppressed — one line at a time, with a mandatory
+// reason — by the escape hatch
+//
+//	//magmalint:allow <analyzer> -- <reason>
+//
+// placed on the offending line or the line directly above it. Malformed
+// directives (unknown analyzer, missing "-- reason") are themselves
+// reported, so a typo'd suppression cannot silently disarm a check.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It is the same shape as
+// golang.org/x/tools/go/analysis.Analyzer, minus Requires/Facts (none
+// of our checks need them).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in directives
+	Doc  string // one-paragraph description for -help output
+	Run  func(*Pass) error
+}
+
+// A Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the import path the analyzer should judge the package
+	// by. It usually equals Pkg.Path(), but linttest remaps fixture
+	// packages onto enforced paths (e.g. "magma/internal/sim") so the
+	// package-set gating is testable.
+	Path string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AbortPanic,
+		CtxBoundary,
+		DetRand,
+		FaultPoint,
+		MapOrder,
+	}
+}
+
+// analyzerNames is the set of valid names a directive may reference.
+func analyzerNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// directiveRE matches the body of a magmalint comment after the "//".
+// Grammar: magmalint:allow <analyzer> -- <reason>.
+var directiveRE = regexp.MustCompile(`^magmalint:allow\s+([a-z]+)\s+--\s+(\S.*)$`)
+
+// allowKey identifies one suppressed (file line, analyzer) pair.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directives scans a package's comments for magmalint directives.
+// It returns the set of suppressions and a list of diagnostics for
+// malformed directives (reported under the pseudo-analyzer name
+// "magmalint" so they cannot be self-suppressed).
+func directives(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
+	known := analyzerNames()
+	allowed := map[allowKey]bool{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				if !strings.HasPrefix(text, "magmalint:") {
+					continue
+				}
+				m := directiveRE.FindStringSubmatch(text)
+				if m == nil {
+					bad = append(bad, Diagnostic{
+						Analyzer: "magmalint",
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("malformed directive %q: want //magmalint:allow <analyzer> -- <reason>", "//"+text),
+					})
+					continue
+				}
+				if !known[m[1]] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "magmalint",
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("directive names unknown analyzer %q", m[1]),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The directive covers its own line (trailing comment)
+				// and the line directly below it (preceding comment).
+				allowed[allowKey{pos.Filename, pos.Line, m[1]}] = true
+				allowed[allowKey{pos.Filename, pos.Line + 1, m[1]}] = true
+			}
+		}
+	}
+	return allowed, bad
+}
+
+// RunAnalyzers applies every analyzer in as to pkg, drops findings
+// covered by //magmalint:allow directives, appends diagnostics for
+// malformed directives, and returns the surviving findings sorted by
+// position.
+func RunAnalyzers(pkg *Package, as []*Analyzer) ([]Diagnostic, error) {
+	allowed, bad := directives(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.Path,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if allowed[allowKey{pos.Filename, pos.Line, d.Analyzer}] {
+				return
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestInSet(t *testing.T) {
+	set := []string{"magma/internal/sim", "magma/internal/opt/..."}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"magma/internal/sim", true},
+		{"magma/internal/simulator", false},
+		{"magma/internal/sim/sub", false},
+		{"magma/internal/opt", true},
+		{"magma/internal/opt/ga", true},
+		{"magma/internal/opt/rl/deep", true},
+		{"magma/internal/optics", false},
+		{"magma", false},
+	}
+	for _, c := range cases {
+		if got := inSet(c.path, set); got != c.want {
+			t.Errorf("inSet(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestEnforcedSetsAreWithinOneModule(t *testing.T) {
+	for _, set := range [][]string{resultAffecting, orderSensitive, panicIsolated, ctxBounded} {
+		for _, entry := range set {
+			if entry != "magma" && !inSet(entry, []string{"magma/..."}) {
+				t.Errorf("enforced entry %q escapes the magma module", entry)
+			}
+		}
+	}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	src := `package p
+
+//magmalint:allow detrand -- telemetry only
+var a int
+
+var b int //magmalint:allow maporder -- trailing form
+
+/*magmalint:allow detrand -- block comments carry no directives*/
+var c int
+
+//magmalint:allow detrand   --   spaced reason
+var d int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed, bad := directives(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	for _, want := range []allowKey{
+		{"p.go", 3, "detrand"}, {"p.go", 4, "detrand"},
+		{"p.go", 6, "maporder"}, {"p.go", 7, "maporder"},
+		{"p.go", 11, "detrand"}, {"p.go", 12, "detrand"},
+	} {
+		if !allowed[want] {
+			t.Errorf("missing suppression %+v", want)
+		}
+	}
+	for k := range allowed {
+		if k.line == 8 || k.line == 9 {
+			t.Errorf("block comment minted suppression %+v", k)
+		}
+	}
+}

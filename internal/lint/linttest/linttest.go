@@ -1,0 +1,176 @@
+// Package linttest runs magmalint analyzers over testdata fixtures and
+// checks their findings against // want annotations, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which this build
+// environment cannot fetch — see package lint).
+//
+// A fixture is one directory of Go files forming a single package. An
+// expectation is a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// on the line a diagnostic should land on; every want must be matched
+// by a reported diagnostic on its line, and every diagnostic must be
+// matched by a want. Suppressed findings (//magmalint:allow) are
+// filtered before matching, so fixtures exercise the escape hatch by
+// carrying a directive and no want.
+//
+// Because the analyzers gate themselves on import paths (the enforced
+// package sets in lint/packages.go), Run takes the import path the
+// fixture should masquerade as — e.g. "magma/internal/sim" to be
+// result-affecting, or "magma/internal/notenforced" to check an
+// analyzer stays quiet off-set.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"magma/internal/lint"
+)
+
+// Run loads the fixture package in dir as import path asPath, applies
+// the analyzer, and reports every mismatch between findings and
+// // want annotations as test errors.
+func Run(t *testing.T, dir, asPath string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := Load(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE extracts the sequence of double- or back-quoted regexps in
+// a want comment body.
+var quotedRE = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// parseWants collects the expectations in the fixture's comments.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					body := q[1 : len(q)-1]
+					if q[0] == '"' {
+						body = strings.ReplaceAll(body, `\"`, `"`)
+					}
+					re, err := regexp.Compile(body)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// checkWants matches diagnostics against expectations 1:1 by line.
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants, err := parseWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected finding [%s]: %s", filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %s", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// Load parses and type-checks one fixture directory as import path
+// asPath. Imports (standard library and magma packages alike) resolve
+// through gc export data from `go list -export`, exactly as the real
+// driver's loader does. Exported so tests can make assertions beyond
+// want-matching (e.g. that an analyzer stays quiet off-set).
+func Load(dir, asPath string) (*lint.Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", fixtureLookup(dir))
+	return lint.TypeCheckFiles(fset, asPath, matches, imp)
+}
+
+// fixtureLookup resolves export data on demand with one `go list
+// -export -deps` over the fixture's imports, cached per call.
+func fixtureLookup(dir string) func(string) (io.ReadCloser, error) {
+	var exports map[string]string
+	return func(path string) (io.ReadCloser, error) {
+		if exports == nil {
+			var err error
+			exports, err = lint.ExportData(dir, path)
+			if err != nil {
+				return nil, err
+			}
+		}
+		file, ok := exports[path]
+		if !ok {
+			// A path outside the first import's dep closure: resolve
+			// it with its own listing and merge.
+			more, err := lint.ExportData(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range more {
+				exports[k] = v
+			}
+			file, ok = exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (as judged by the analyzers)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over patterns in dir and
+// returns the decoded package stream. -export materializes gc export
+// data for every package in the build cache, which is what lets the
+// loader type-check offline: dependencies are imported from export
+// data instead of from source or a network proxy.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a go-list package index into the lookup function
+// importer.ForCompiler consumes: import path in, export data out.
+func exportLookup(index map[string]*listPackage) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		p, ok := index[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+}
+
+// TypeCheckFiles parses and type-checks one package from its file
+// paths under import path path, resolving every import through imp.
+// It is exported for linttest, which type-checks fixture directories
+// under a caller-chosen path so the analyzers' package-set gating is
+// exercisable.
+func TypeCheckFiles(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	dir := ""
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load type-checks the packages matched by patterns (relative to dir,
+// e.g. "./...") and returns them ready for analysis. Only non-test Go
+// files are loaded — the determinism invariants bind production code;
+// tests time and randomize freely. Dependencies (standard library and
+// intra-module alike) are imported from gc export data produced by
+// `go list -export`, so loading works without network access.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	index := map[string]*listPackage{}
+	var targets []*listPackage
+	for _, p := range pkgs {
+		index[p.ImportPath] = p
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(index))
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		filenames := make([]string, len(t.GoFiles))
+		for i, name := range t.GoFiles {
+			filenames[i] = filepath.Join(t.Dir, name)
+		}
+		pkg, err := TypeCheckFiles(fset, t.ImportPath, filenames, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExportData resolves pattern (an import path or package pattern) from
+// dir and returns the ImportPath→export-data-file map for it and its
+// whole dependency closure. linttest uses it to satisfy fixture
+// imports one dependency tree at a time.
+func ExportData(dir, pattern string) (map[string]string, error) {
+	pkgs, err := goList(dir, []string{pattern})
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose loop body does something
+// order-sensitive: appending to a slice that outlives the loop,
+// feeding a builder/hash/writer, fingerprinting, or inserting into a
+// store. Go randomizes map iteration order per run, so any of these
+// forks the output bytes between two identical runs — the exact bug
+// class that would make one fleet shard's merged result differ from a
+// single node's. Commutative bodies (sums, counts, map-to-map writes,
+// deletes) are fine and not flagged.
+//
+// The canonical fix — collect the keys, sort, iterate the sorted
+// slice — is recognized: an append whose target is passed to a
+// sort.*/slices.Sort* call later in the same function is not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body has order-dependent effects",
+	Run:  runMapOrder,
+}
+
+// orderSensitiveMethods are method names whose receiver accumulates
+// its inputs in call order: io writers, strings.Builder/bytes.Buffer,
+// hashes (Write/Sum), fingerprints, and store inserts.
+var orderSensitiveMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Sum": true, "Insert": true,
+}
+
+// orderSensitiveCalls are function or method names that hash their
+// input stream or insert into an order-sensitive store regardless of
+// receiver type.
+func isOrderSensitiveCallName(name string) bool {
+	return strings.HasPrefix(name, "Fingerprint") || name == "Insert" || name == "insertLocked"
+}
+
+func runMapOrder(pass *Pass) error {
+	if !inSet(pass.Path, orderSensitive) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportOrderSensitiveBody(pass, fn, rng)
+		return true
+	})
+}
+
+// reportOrderSensitiveBody walks one map-range body and reports every
+// order-sensitive operation in it.
+func reportOrderSensitiveBody(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) onto a slice that outlives the loop.
+			for i, rhs := range stmt.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") {
+					continue
+				}
+				if i >= len(stmt.Lhs) {
+					continue
+				}
+				target, ok := stmt.Lhs[i].(*ast.Ident)
+				if !ok {
+					// Appending through a selector/index (s.field =
+					// append(...)) always escapes the loop.
+					pass.Reportf(call.Pos(), "append under map iteration leaks the random iteration order into %s; iterate sorted keys instead", pass.Path)
+					continue
+				}
+				obj := info.Uses[target]
+				if obj == nil {
+					obj = info.Defs[target]
+				}
+				if obj == nil || obj.Pos() >= rng.Pos() {
+					continue // loop-local accumulator dies with the iteration
+				}
+				if sortedAfter(info, fn, rng, obj) {
+					continue // collect-then-sort: the canonical fix
+				}
+				pass.Reportf(call.Pos(), "append to %s under map iteration leaks the random iteration order; collect keys, sort, then iterate (or sort %s before use)", target.Name, target.Name)
+			}
+		case *ast.CallExpr:
+			sel, ok := stmt.Fun.(*ast.SelectorExpr)
+			if ok {
+				if _, isMethod := info.Selections[sel]; isMethod {
+					name := sel.Sel.Name
+					if orderSensitiveMethods[name] || isOrderSensitiveCallName(name) {
+						pass.Reportf(stmt.Pos(), "%s call under map iteration feeds the random iteration order into an order-sensitive sink; iterate sorted keys instead", name)
+					}
+					return true
+				}
+			}
+			if id, ok := stmt.Fun.(*ast.Ident); ok && isOrderSensitiveCallName(id.Name) {
+				pass.Reportf(stmt.Pos(), "%s call under map iteration feeds the random iteration order into an order-sensitive sink; iterate sorted keys instead", id.Name)
+			}
+		}
+		return true
+	})
+	// Slice-index writes: out[i] = ... under a map range, where out is
+	// a slice declared outside the loop, is order-sensitive whenever i
+	// is not derived solely from the map value. Detect assignments
+	// whose Lhs is an IndexExpr over a slice.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := info.Types[ix.X]
+			if !ok {
+				continue
+			}
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			if usesIdentObj(info, ix.Index, rangeKeyObjs(info, rng)) {
+				continue // indexed by the map key/value itself: positional, not order-dependent
+			}
+			pass.Reportf(ix.Pos(), "slice write %s under map iteration depends on the random iteration order; iterate sorted keys instead", exprString(ix))
+		}
+		return true
+	})
+}
+
+// rangeKeyObjs returns the objects bound to the range's key/value
+// variables (nil-safe).
+func rangeKeyObjs(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := info.Defs[id]; o != nil {
+				objs[o] = true
+			} else if o := info.Uses[id]; o != nil {
+				objs[o] = true
+			}
+		}
+	}
+	return objs
+}
+
+// usesIdentObj reports whether expr mentions any of the given objects.
+func usesIdentObj(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil && objs[o] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or
+// slices.Sort* call after the range statement within fn — the
+// collect-keys-then-sort idiom.
+func sortedAfter(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		p := importedPkg(info, id)
+		if p == nil || (p.Path() != "sort" && p.Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if aid, ok := m.(*ast.Ident); ok {
+					if o := info.Uses[aid]; o == obj {
+						sorted = true
+					}
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// exprString renders a short source-ish form of an index expression
+// for diagnostics.
+func exprString(ix *ast.IndexExpr) string {
+	base := "…"
+	if id, ok := ix.X.(*ast.Ident); ok {
+		base = id.Name
+	}
+	idx := "…"
+	if id, ok := ix.Index.(*ast.Ident); ok {
+		idx = id.Name
+	}
+	return base + "[" + idx + "]"
+}

@@ -1,0 +1,40 @@
+// Fixture for the abortpanic analyzer, type-checked as an optimizer
+// package (magma/internal/opt/...). Raw panics must be flagged; the
+// m3e.AbortRun escape and error returns must not.
+package fixture
+
+import (
+	"errors"
+
+	"magma/internal/m3e"
+)
+
+func rawPanic(bad bool) {
+	if bad {
+		panic("optimizer blew up") // want `raw panic in magma/internal/opt`
+	}
+}
+
+func panicWithError(err error) {
+	panic(err) // want `raw panic in magma/internal/opt`
+}
+
+func abortIsFine(bad bool) {
+	if bad {
+		m3e.AbortRun(errors.New("optimizer cannot continue")) // the contract: not flagged
+	}
+}
+
+func errorReturnIsFine(bad bool) error {
+	if bad {
+		return errors.New("optimizer cannot continue")
+	}
+	return nil
+}
+
+func annotatedInvariant(n int) {
+	if n < 0 {
+		//magmalint:allow abortpanic -- fixture: unreachable-by-construction invariant
+		panic("n is validated non-negative at every call site")
+	}
+}

@@ -1,0 +1,10 @@
+// Fixture for abortpanic loaded as a package OUTSIDE the
+// panic-isolated set (e.g. internal/models, whose registration panics
+// are deliberate init-time guards): nothing here may be flagged.
+package fixture
+
+func registrationGuard(ok bool) {
+	if !ok {
+		panic("init-time registration guard")
+	}
+}

@@ -1,0 +1,59 @@
+// Fixture for the ctxboundary analyzer, type-checked as a
+// cancellation-contract package (magma/internal/engine). Misplaced and
+// stored contexts must be flagged; first-position contexts, unexported
+// helpers, and local context variables must not.
+package fixture
+
+import "context"
+
+func RunCtx(ctx context.Context, budget int) error { // first parameter: not flagged
+	_ = ctx
+	_ = budget
+	return nil
+}
+
+func TuneCtx(budget int, ctx context.Context) error { // want `TuneCtx: context\.Context must be the first parameter`
+	_ = ctx
+	_ = budget
+	return nil
+}
+
+func CompareCtx(name string, ctx context.Context, n int) error { // want `CompareCtx: context\.Context must be the first parameter`
+	_ = name
+	_ = ctx
+	_ = n
+	return nil
+}
+
+type Handle struct{ n int }
+
+func (h *Handle) SolveCtx(ctx context.Context) error { // method, ctx first: not flagged
+	_ = ctx
+	return h.err()
+}
+
+func (h *Handle) err() error { return nil }
+
+func unexportedHelper(n int, ctx context.Context) { // unexported: outside the contract
+	_ = n
+	_ = ctx
+}
+
+type storedCtx struct {
+	ctx context.Context // want `struct storedCtx stores a context\.Context`
+	n   int
+}
+
+type queue struct {
+	jobs []int // plain fields: not flagged
+}
+
+func localVarIsFine() {
+	var ctx context.Context // locals are the normal way to thread ctx
+	_ = ctx
+}
+
+type annotatedStore struct {
+	//magmalint:allow ctxboundary -- fixture: request-scoped struct dies with its request
+	ctx context.Context
+}

@@ -1,0 +1,46 @@
+// Fixture for the detrand analyzer, type-checked as a result-affecting
+// package (magma/internal/sim). Non-determinism sources must be
+// flagged; seeded constructions and annotated telemetry must not.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now()              // want `time\.Now in result-affecting package`
+	elapsed := time.Since(t)     // want `time\.Since in result-affecting package`
+	deadline := time.Until(t)    // want `time\.Until in result-affecting package`
+	time.Sleep(time.Millisecond) // Sleep yields no value: legal
+	return elapsed.Nanoseconds() + deadline.Nanoseconds()
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `global math/rand\.Intn in result-affecting package`
+	f := rand.Float64()                // want `global math/rand\.Float64 in result-affecting package`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	return n + int(f)
+}
+
+func seededRandIsFine(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit seed: deterministic, legal
+	return r.Intn(10)
+}
+
+func cryptoRand() []byte {
+	b := make([]byte, 8)
+	crand.Read(b) // want `crypto/rand\.Read in result-affecting package`
+	return b
+}
+
+func annotatedTelemetry() int64 {
+	//magmalint:allow detrand -- fixture: telemetry that never reaches result bytes
+	t := time.Now()
+	return t.UnixNano()
+}
+
+func trailingAnnotation() time.Time {
+	return time.Now() //magmalint:allow detrand -- fixture: trailing-form suppression
+}

@@ -1,0 +1,12 @@
+// Fixture for detrand loaded as a package OUTSIDE the result-affecting
+// set: nothing here may be flagged, however nondeterministic.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func freeTiming() (time.Time, int) {
+	return time.Now(), rand.Intn(10)
+}

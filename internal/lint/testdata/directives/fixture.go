@@ -1,0 +1,22 @@
+// Fixture for the directive grammar itself: malformed magmalint
+// comments must be reported (under the pseudo-analyzer "magmalint")
+// so a typo'd suppression cannot silently disarm a check.
+package fixture
+
+import "time"
+
+//magmalint:allow detrand // want `malformed directive`
+func missingReason() time.Time {
+	return time.Now() // want `time\.Now in result-affecting package`
+}
+
+//magmalint:allow dettrand -- reason with a typo'd analyzer // want `directive names unknown analyzer "dettrand"`
+func unknownAnalyzer() time.Time {
+	return time.Now() // want `time\.Now in result-affecting package`
+}
+
+//magmalint:allow detrand -- a valid directive suppresses the next line only
+func properlySuppressed() time.Time {
+	t := time.Now() // want `time\.Now in result-affecting package`
+	return t
+}

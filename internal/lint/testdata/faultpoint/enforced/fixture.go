@@ -1,0 +1,42 @@
+// Fixture for the faultpoint analyzer. It imports the real
+// magma/internal/fault package, so the registry the analyzer matches
+// against is the production const block — a cross-package check.
+package fixture
+
+import "magma/internal/fault"
+
+// localAlias shows constants that resolve to a registered value are
+// accepted wherever they are declared.
+const localAlias = "persist.write"
+
+func registered() error {
+	if err := fault.Hit(fault.PersistWrite); err != nil { // registry constant: not flagged
+		return err
+	}
+	if err := fault.Hit("m3e.ask"); err != nil { // literal matching the registry: not flagged
+		return err
+	}
+	return fault.Hit(localAlias) // resolves to a registered value: not flagged
+}
+
+func typoed() error {
+	return fault.Hit("persist.wrote") // want `fault point "persist\.wrote" is not in the internal/fault registry`
+}
+
+func unregisteredEnable() {
+	fault.Enable("fleet.sharddown", func() error { return nil }) // want `fault point "fleet\.sharddown" is not in the internal/fault registry`
+}
+
+func runtimeName(shard string) uint64 {
+	name := "fleet." + shard
+	return fault.Hits(name) // want `fault\.Hits point name must be a compile-time string constant`
+}
+
+func disableTypo() {
+	fault.Disable("m3e.simulte") // want `fault point "m3e\.simulte" is not in the internal/fault registry`
+}
+
+func annotatedExperiment() error {
+	//magmalint:allow faultpoint -- fixture: probing a point the next PR registers
+	return fault.Hit("engine.adopt")
+}

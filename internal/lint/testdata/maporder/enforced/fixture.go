@@ -1,0 +1,87 @@
+// Fixture for the maporder analyzer, type-checked as a result-affecting
+// package. Order-sensitive map-range bodies must be flagged; the
+// collect-then-sort idiom and commutative bodies must not.
+package fixture
+
+import (
+	"sort"
+	"strings"
+)
+
+func appendEscapes(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want `append to out under map iteration`
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // canonical fix: sorted below, not flagged
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func builderUnderRange(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString call under map iteration`
+	}
+	return b.String()
+}
+
+func sliceIndexWrite(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k // want `slice write out\[i\] under map iteration`
+		i++
+	}
+	return out
+}
+
+func commutativeSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // commutative: not flagged
+	}
+	return sum
+}
+
+func mapToMapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // map writes are order-free: not flagged
+	}
+	return out
+}
+
+func loopLocalAccumulator(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int(nil)
+		local = append(local, vs...) // dies with the iteration: not flagged
+		n += len(local)
+	}
+	return n
+}
+
+func positionalWrite(m map[int]string, size int) []string {
+	out := make([]string, size)
+	for k, v := range m {
+		out[k] = v // indexed by the map key itself: positional, not flagged
+	}
+	return out
+}
+
+func annotated(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//magmalint:allow maporder -- fixture: order scrambled downstream on purpose
+		out = append(out, k)
+	}
+	return out
+}

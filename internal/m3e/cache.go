@@ -372,7 +372,7 @@ func (c *FitnessCache) Len() int { return c.store.Len() }
 //     mappings, then scatter fitness to every class member and insert
 //     the new results into the store (one write-lock for the batch).
 func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float64) {
-	tFP := time.Now()
+	tFP := time.Now() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 	// Swap in the previous batch's buffers as parents before growing
 	// this batch's side.
 	c.maps, c.prevMaps = c.prevMaps, c.maps
@@ -432,7 +432,7 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 	c.store.mu.RUnlock()
 	c.prevLen = len(batch)
 	if c.phases != nil {
-		c.phases.FingerprintNs += time.Since(tFP).Nanoseconds()
+		c.phases.FingerprintNs += time.Since(tFP).Nanoseconds() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 	}
 
 	// Phase 2b (Options.Bound): price every genome's roofline bound
@@ -442,15 +442,15 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 	simReps, simSlots := c.reps, []int(nil)
 	var pruned []bool
 	if c.bounds != nil && c.bestPtr != nil && c.eliteK != nil {
-		tBound := time.Now()
+		tBound := time.Now() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 		c.boundBatch(pool, batch, prov)
 		simReps, simSlots, pruned = c.pruneScan(fit, len(batch))
 		if c.phases != nil {
-			c.phases.BoundNs += time.Since(tBound).Nanoseconds()
+			c.phases.BoundNs += time.Since(tBound).Nanoseconds() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 		}
 	}
 
-	tSim := time.Now()
+	tSim := time.Now() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 	pool.evaluateMapped(c.maps, simReps, simSlots, c.repFit[:len(c.reps)])
 
 	for i := range batch {
@@ -472,7 +472,7 @@ func (c *FitnessCache) Evaluate(pool *Pool, batch []encoding.Genome, fit []float
 		c.store.mu.Unlock()
 	}
 	if c.phases != nil {
-		c.phases.SimulateNs += time.Since(tSim).Nanoseconds()
+		c.phases.SimulateNs += time.Since(tSim).Nanoseconds() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 	}
 }
 

@@ -657,7 +657,7 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 		if o.EffectiveBudget && res.Asked >= EffectiveBudgetStretchCap*o.Budget {
 			break
 		}
-		tAsk := time.Now()
+		tAsk := time.Now() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 		var batch []encoding.Genome
 		if err := guard(opt.Name(), "Ask", func() error {
 			// The injectable failure point fires inside the guard, so a
@@ -671,7 +671,7 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 		}); err != nil {
 			return res, err
 		}
-		res.Phases.AskNs += time.Since(tAsk).Nanoseconds()
+		res.Phases.AskNs += time.Since(tAsk).Nanoseconds() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 		if len(batch) == 0 {
 			return Result{}, fmt.Errorf("m3e: %s returned an empty batch", opt.Name())
 		}
@@ -689,9 +689,9 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 			if cache != nil {
 				cache.Evaluate(pool, batch, fit) // splits fingerprint/simulate into res.Phases itself
 			} else {
-				tSim := time.Now()
+				tSim := time.Now() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 				pool.Evaluate(batch, fit)
-				res.Phases.SimulateNs += time.Since(tSim).Nanoseconds()
+				res.Phases.SimulateNs += time.Since(tSim).Nanoseconds() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 			}
 			return nil
 		}); err != nil {
@@ -717,14 +717,14 @@ func Run(p *Problem, opt Optimizer, o Options, seed int64) (Result, error) {
 				res.Explored = append(res.Explored, g.ToVector(p.NumAccels()))
 			}
 		}
-		tTell := time.Now()
+		tTell := time.Now() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 		if err := guard(opt.Name(), "Tell", func() error {
 			opt.Tell(batch, fit)
 			return nil
 		}); err != nil {
 			return res, err
 		}
-		res.Phases.TellNs += time.Since(tTell).Nanoseconds()
+		res.Phases.TellNs += time.Since(tTell).Nanoseconds() //magmalint:allow detrand -- per-phase timing telemetry (Phases); never reaches result bytes
 		generation++
 		res.Phases.Generations = generation
 		if o.Observer != nil {

@@ -254,8 +254,10 @@ func (s *jobSet) add(j *job) {
 func (s *jobSet) running() int {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	n := 0
