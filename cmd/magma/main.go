@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"magma"
+	"magma/internal/sim"
 )
 
 func main() {
@@ -84,6 +85,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// One reused validator re-checks every schedule before it is
+	// printed or rendered: the pooled scratch makes the -compare
+	// leaderboard loop allocation-free, and a mapping that fails here
+	// is a solver bug worth a loud exit over a quietly bogus printout.
+	var validator sim.Validator
+	nJobs, nAccels := len(group.Jobs), pf.NumAccels()
+
 	if *compare {
 		results, err := magma.CompareCtx(ctx, group, pf, nil, opts)
 		if err != nil {
@@ -94,6 +102,9 @@ func main() {
 		}
 		fmt.Printf("\n%-12s  %12s  %14s\n", "mapper", "GFLOP/s", "makespan (cyc)")
 		for _, r := range results {
+			if err := validator.Validate(r.Mapping, nJobs, nAccels); err != nil {
+				log.Fatalf("%s schedule failed validation: %v", r.Mapper, err)
+			}
 			note := ""
 			if r.Partial {
 				note = fmt.Sprintf("  (partial: %d/%d samples)", r.Samples, *budget)
@@ -106,6 +117,9 @@ func main() {
 	sched, err := magma.OptimizeCtx(ctx, group, pf, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := validator.Validate(sched.Mapping, nJobs, nAccels); err != nil {
+		log.Fatalf("%s schedule failed validation: %v", sched.Mapper, err)
 	}
 	if sched.Partial {
 		fmt.Printf("\ninterrupted after %d of %d samples — best-so-far schedule:\n", sched.Samples, *budget)

@@ -10,6 +10,7 @@
 //	serve -jobtimeout 2m -maxjobs 512
 //	serve -snapshot-dir /var/lib/magma -snapshot-interval 30s
 //	serve -addr :8080 -shards http://127.0.0.1:8081,http://127.0.0.1:8082
+//	serve -pprof localhost:6060     # net/http/pprof side listener
 //
 // With -shards the process is a fleet *router* instead of a shard: it
 // owns no Solver and forwards every /optimize to the shard that owns
@@ -54,6 +55,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -78,10 +80,12 @@ func main() {
 		snapEvery   = flag.Duration("snapshot-interval", time.Minute, "period between background snapshots (with -snapshot-dir)")
 		bound       = flag.Bool("bound", false, "skip simulating candidates whose analytical lower bound cannot reach the elite set (bit-identical results; per-request options.bound overrides)")
 		shardSpec   = flag.String("shards", "", "run as a fleet router over this comma-separated shard list (url or name=url); solver flags do not apply")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side listener (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("serve: ")
+	startPprof(*pprofAddr)
 
 	if *shardSpec != "" {
 		runRouter(*addr, *shardSpec)
@@ -152,7 +156,7 @@ func main() {
 func runRouter(addr, shardSpec string) {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "addr", "shards":
+		case "addr", "shards", "pprof":
 		default:
 			log.Fatalf("-%s configures a shard process; it does not apply with -shards (start shards as separate serve processes)", f.Name)
 		}
@@ -191,6 +195,25 @@ func runRouter(addr, shardSpec string) {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// startPprof exposes net/http/pprof on a side listener so a hot-path
+// hunt against a live server (shard or router) starts from a CPU or
+// heap profile instead of a guess. The profile mux stays off the
+// service address: profiling must never be reachable from service
+// traffic, and a wedged service handler cannot take the profiler with
+// it.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("pprof listening on http://%s/debug/pprof/", addr)
+		// DefaultServeMux carries the net/http/pprof registrations.
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof listener: %v", err)
+		}
+	}()
 }
 
 // restoreSnapshot loads the previous run's warm state. Every failure is

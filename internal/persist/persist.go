@@ -7,11 +7,14 @@
 //
 // The format is deliberately conservative about what it trusts:
 //
-//   - the header carries the format version, the RNG layout version and
-//     the fingerprint layout version. A snapshot written under an older
-//     layout is *rejected* (VersionError), never reinterpreted: a
-//     fingerprint hashed under a different layout would silently miss —
-//     or worse, collide with — current hashes, corrupting results;
+//   - the header carries the format version, the RNG layout version,
+//     the fingerprint layout version and the simulator kernel version.
+//     A snapshot written under an older layout is *rejected*
+//     (VersionError), never reinterpreted: a fingerprint hashed under a
+//     different layout would silently miss — or worse, collide with —
+//     current hashes, and a fitness memo computed by a different
+//     simulator kernel differs in low-order bits from a recomputed one,
+//     breaking the restored-equals-recomputed invariant;
 //   - the body ends in an FNV-64a checksum over everything before it.
 //     Torn or truncated files (a crash mid-write, a corrupted disk)
 //     fail the checksum or hit unexpected EOF and are rejected, so a
@@ -39,11 +42,15 @@ import (
 	"magma/internal/encoding"
 	"magma/internal/fault"
 	"magma/internal/rng"
+	"magma/internal/sim"
 )
 
 // FormatVersion is the snapshot container version. Bump on any change
-// to the byte layout below.
-const FormatVersion = 1
+// to the byte layout below. Version 2 added the simulator kernel
+// version to the header when kernel v2 changed the numeric behaviour
+// of fitness — v1 snapshots are rejected whole at the format check,
+// exactly like the RNG layout v2 break before it.
+const FormatVersion = 2
 
 // magic identifies a solver snapshot file.
 var magic = [8]byte{'M', 'A', 'G', 'M', 'A', 'S', 'N', 'P'}
@@ -69,7 +76,7 @@ var ErrCorrupt = errors.New("persist: corrupt snapshot")
 // or layout version. It is a rejection, not corruption: the file is
 // intact but its contents cannot be safely interpreted.
 type VersionError struct {
-	Field     string // "format" | "rng layout" | "fingerprint layout"
+	Field     string // "format" | "rng layout" | "fingerprint layout" | "sim kernel"
 	Got, Want uint32
 }
 
@@ -222,7 +229,7 @@ func (x *hashReader) checksum() (uint64, error) {
 	return v, nil
 }
 
-// Write serializes the snapshot: header (magic + three version fields),
+// Write serializes the snapshot: header (magic + four version fields),
 // body, trailing checksum.
 func Write(w io.Writer, s *Snapshot) error {
 	x := newHashWriter(w)
@@ -230,6 +237,7 @@ func Write(w io.Writer, s *Snapshot) error {
 	x.u32(FormatVersion)
 	x.u32(rng.Layout)
 	x.u32(encoding.FingerprintLayout)
+	x.u32(sim.KernelVersion)
 
 	x.u32(uint32(len(s.Problems)))
 	for _, p := range s.Problems {
@@ -287,6 +295,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 		{"format", FormatVersion},
 		{"rng layout", rng.Layout},
 		{"fingerprint layout", encoding.FingerprintLayout},
+		{"sim kernel", sim.KernelVersion},
 	} {
 		got, err := x.u32()
 		if err != nil {

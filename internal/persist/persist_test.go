@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -111,8 +112,8 @@ func TestVersionMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	// The three version fields sit right after the 8-byte magic.
-	for i, field := range []string{"format", "rng layout", "fingerprint layout"} {
+	// The four version fields sit right after the 8-byte magic.
+	for i, field := range []string{"format", "rng layout", "fingerprint layout", "sim kernel"} {
 		mut := append([]byte(nil), full...)
 		mut[8+4*i] += 1 // bump the little-endian low byte
 		_, err := Read(bytes.NewReader(mut))
@@ -123,6 +124,30 @@ func TestVersionMismatchRejected(t *testing.T) {
 		if ve.Field != field {
 			t.Fatalf("bumped %s but VersionError names %q", field, ve.Field)
 		}
+	}
+}
+
+// TestV1SnapshotRejected pins the simulator-kernel-v2 numeric break: a
+// snapshot written under FormatVersion 1 (three version fields, kernel
+// v1 fitness bits in the cache entries) must be rejected whole with a
+// *VersionError naming the format field, so a restored solver can never
+// serve v1 cached fitness next to v2 simulations. The format field is
+// the first one Read checks, so a v1 header prefix fails before the
+// differing v1 body layout could ever be misparsed.
+func TestV1SnapshotRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	v1 := append([]byte(nil), buf.Bytes()...)
+	binary.LittleEndian.PutUint32(v1[8:], 1) // what every v1-era file declares
+	_, err := Read(bytes.NewReader(v1))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("v1 snapshot: error %v, want *VersionError", err)
+	}
+	if ve.Field != "format" || ve.Got != 1 || ve.Want != FormatVersion {
+		t.Fatalf("v1 snapshot rejected with %+v, want format 1 vs %d", ve, FormatVersion)
 	}
 }
 

@@ -390,7 +390,11 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	}
 	switch {
 	case err == nil:
-		resp := s.response(spec, res, start)
+		resp, rerr := s.response(spec, res, start)
+		if rerr != nil {
+			j.finish(JobFailed, "", false, nil, rerr.Error())
+			return
+		}
 		j.mu.Lock()
 		j.progress.GroupsDone = len(res.Schedules)
 		if res.Partial && len(res.Schedules) > 0 && res.Schedules[len(res.Schedules)-1].Partial {

@@ -33,9 +33,12 @@ import (
 	"strings"
 	"time"
 
+	"sync"
+
 	"magma"
 	"magma/internal/m3e"
 	"magma/internal/models"
+	"magma/internal/sim"
 )
 
 // maxBody bounds request bodies (a 100-job group is ~100 KB of JSON;
@@ -233,6 +236,11 @@ type Server struct {
 	cfg     Config
 	jobs    *jobSet
 	flights *flightGroup
+
+	// validators pools sim.Validator scratch for the response-assembly
+	// schedule check: concurrent requests each lease one, so validating
+	// every served mapping costs no per-request allocation.
+	validators sync.Pool
 }
 
 // New wraps a Solver with default Config. Every request runs against it
@@ -451,8 +459,19 @@ func (s *Server) parseRequest(body io.Reader) (*runSpec, error) {
 	return spec, nil
 }
 
-// response assembles the wire reply from a stream result.
-func (s *Server) response(spec *runSpec, res magma.StreamResult, start time.Time) OptimizeResponse {
+// validator leases a pooled Mapping validator (put it back when done).
+func (s *Server) validator() *sim.Validator {
+	if v, ok := s.validators.Get().(*sim.Validator); ok {
+		return v
+	}
+	return new(sim.Validator)
+}
+
+// response assembles the wire reply from a stream result. Every served
+// schedule is re-validated against its group before the Queues go on
+// the wire — a corrupted mapping must fail the request, not leak to a
+// client — using pooled validator scratch, never a per-call allocation.
+func (s *Server) response(spec *runSpec, res magma.StreamResult, start time.Time) (OptimizeResponse, error) {
 	resp := OptimizeResponse{
 		Workload:         spec.wl.Name,
 		Platform:         spec.pf.String(),
@@ -464,7 +483,13 @@ func (s *Server) response(spec *runSpec, res magma.StreamResult, start time.Time
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1e3,
 		Partial:          res.Partial,
 	}
+	v := s.validator()
+	defer s.validators.Put(v)
+	nAccels := spec.pf.NumAccels()
 	for gi, sched := range res.Schedules {
+		if err := v.Validate(sched.Mapping, len(spec.wl.Groups[gi].Jobs), nAccels); err != nil {
+			return OptimizeResponse{}, fmt.Errorf("group %d schedule failed validation: %w", gi, err)
+		}
 		resp.Groups = append(resp.Groups, GroupSchedule{
 			Index:            gi,
 			Mapper:           sched.Mapper,
@@ -475,7 +500,7 @@ func (s *Server) response(spec *runSpec, res magma.StreamResult, start time.Time
 			Queues:           sched.Mapping.Queues,
 		})
 	}
-	return resp
+	return resp, nil
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -529,5 +554,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, "optimize: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.response(spec, res, start))
+	resp, err := s.response(spec, res, start)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "optimize: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

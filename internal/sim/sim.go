@@ -30,6 +30,24 @@ func (m Mapping) Validate(nJobs, nAccels int) error {
 	return m.validate(nJobs, nAccels, make([]bool, nJobs))
 }
 
+// Validator is a reusable Mapping checker: it owns the seen-marker
+// scratch that the one-shot Validate allocates per call, so request
+// paths that validate many mappings (the HTTP server, the CLI compare
+// loop) can amortize it to zero steady-state allocations — the same
+// discipline the Simulator applies to its own validate pass. A
+// Validator must not be shared between goroutines; pool them (one per
+// request, or sync.Pool) instead.
+type Validator struct {
+	seen []bool
+}
+
+// Validate checks m exactly like Mapping.Validate, reusing the
+// Validator's scratch.
+func (v *Validator) Validate(m Mapping, nJobs, nAccels int) error {
+	v.seen = grow(v.seen, nJobs)
+	return m.validate(nJobs, nAccels, v.seen)
+}
+
 // validate is Validate with a caller-owned scratch marker slice (len
 // nJobs), so a reusable Simulator can validate without allocating.
 func (m Mapping) validate(nJobs, nAccels int, seen []bool) error {
@@ -185,6 +203,61 @@ func allocateScratch(state []live, alloc []float64, sysBW float64, policy Policy
 	return scratch
 }
 
+// allocateLive is the WaterFill allocator over a dense live set: the
+// same max-min water-filling as allocateScratch, but summing and
+// granting only the accels in liveIdx instead of sweeping every slot.
+// Iteration runs in live-set order (swap-remove scrambles it), so the
+// float sums can differ from the accel-order sweep in low-order bits —
+// the v2 kernel's documented tolerance-level divergence from v1.
+func allocateLive(state []live, liveIdx []int, alloc []float64, sysBW float64, scratch []int) []int {
+	var sumReq float64
+	for _, a := range liveIdx {
+		sumReq += state[a].req
+	}
+	if sumReq <= sysBW {
+		for _, a := range liveIdx {
+			alloc[a] = state[a].req
+		}
+		return scratch
+	}
+	for _, a := range liveIdx {
+		alloc[a] = 0
+	}
+	remaining := sysBW
+	if cap(scratch) < len(liveIdx) {
+		scratch = make([]int, 0, len(liveIdx))
+	}
+	unsat := scratch[:0]
+	for _, a := range liveIdx {
+		if state[a].req > 1e-12 {
+			unsat = append(unsat, a)
+		}
+	}
+	for len(unsat) > 0 {
+		fair := remaining / float64(len(unsat))
+		progressed := false
+		keep := unsat[:0]
+		for _, a := range unsat {
+			if state[a].req <= fair {
+				alloc[a] = state[a].req
+				remaining -= state[a].req
+				progressed = true
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		unsat = keep
+		if !progressed {
+			fair = remaining / float64(len(unsat))
+			for _, a := range unsat {
+				alloc[a] = fair
+			}
+			return scratch
+		}
+	}
+	return scratch
+}
+
 // Policy selects how the allocator divides the system bandwidth when
 // the live jobs' requirements exceed it.
 type Policy uint8
@@ -206,10 +279,38 @@ const (
 	WaterFill
 )
 
+// Kernel selects the Run implementation. Both kernels execute the same
+// Algorithm 1 semantics; they differ in arithmetic order, so results
+// agree only within the retirement tolerances (see DESIGN.md
+// "Simulator kernel v2"), and each kernel is individually
+// deterministic: equal inputs give bit-identical Results.
+type Kernel uint8
+
+const (
+	// KernelV2 (default) is the event-driven kernel: under Proportional
+	// it replaces the per-completion O(accels) rescan with min-heaps of
+	// completion keys on a global virtual clock (O(log accels) per
+	// completion); under WaterFill it keeps the exact frame loop but
+	// sweeps a dense live set instead of every slot.
+	KernelV2 Kernel = iota
+	// KernelV1 is the original frame loop, kept bit-identical as the
+	// reference implementation the v2≡v1 property tests compare against.
+	KernelV1
+)
+
+// KernelVersion is the simulator's numeric-behaviour version. The v2
+// kernel reorders floating-point arithmetic, so fitness values differ
+// from v1 in low-order bits; persisted fitness memos are only valid
+// under the kernel that produced them, and internal/persist embeds
+// this constant in the snapshot header so stale snapshots are rejected
+// whole (the same one-time-break discipline as rng.Layout).
+const KernelVersion = 2
+
 // Options tunes the simulator.
 type Options struct {
 	CaptureFrames bool   // record per-frame BW allocations (Fig. 15)
 	Policy        Policy // bandwidth division rule under saturation
+	Kernel        Kernel // Run implementation (default KernelV2)
 }
 
 // Run executes the mapping against the job analysis table. It is a
